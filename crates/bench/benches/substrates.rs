@@ -1,0 +1,160 @@
+//! Criterion micro-benchmarks of the simulator substrates: how fast the
+//! *simulator itself* runs (events/s, bytes/s of modelled transfer). These
+//! complement the `fig*` binaries, which report *simulated* results.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use mcn::sram_mod::{Dir, SramBuffer};
+use mcn_dram::{Channel, DramConfig, MemKind, MemRequest};
+use mcn_net::checksum;
+use mcn_net::{EthernetFrame, Ipv4Packet, MacAddr, TcpSegment};
+use mcn_sim::{EventQueue, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_ns(i * 7 % 5000 + i), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            sum
+        });
+    });
+    g.finish();
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let data = vec![0xA5u8; 9000];
+    let mut g = c.benchmark_group("checksum");
+    g.throughput(Throughput::Bytes(9000));
+    g.bench_function("rfc1071_9000B", |b| {
+        b.iter(|| checksum::checksum(&data, 0));
+    });
+    g.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let src = std::net::Ipv4Addr::new(10, 0, 0, 1);
+    let dst = std::net::Ipv4Addr::new(10, 0, 0, 2);
+    let seg = TcpSegment {
+        src_port: 5001,
+        dst_port: 40000,
+        seq: 1,
+        ack: 2,
+        flags: mcn_net::TcpFlags::ACK,
+        window: 1000,
+        mss: None,
+        wscale: None,
+        payload: bytes::Bytes::from(vec![7u8; 1448]),
+        checksum_ok: true,
+    };
+    let ip = Ipv4Packet::new(src, dst, mcn_net::IpProto::Tcp, 1,
+        bytes::Bytes::from(seg.encode(src, dst, true)));
+    let frame = EthernetFrame::ipv4(MacAddr::from_id(1), MacAddr::from_id(2),
+        bytes::Bytes::from(ip.encode()));
+    let wire = frame.encode();
+    let mut g = c.benchmark_group("codecs");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("decode_full_frame_1500B", |b| {
+        b.iter(|| {
+            let f = EthernetFrame::decode(&wire).unwrap();
+            let p = Ipv4Packet::decode(&f.payload).unwrap();
+            TcpSegment::decode(&p.payload, p.src, p.dst, true).unwrap()
+        });
+    });
+    g.bench_function("encode_full_frame_1500B", |b| {
+        b.iter(|| frame.encode());
+    });
+    g.finish();
+}
+
+fn bench_sram_ring(c: &mut Criterion) {
+    let msg = vec![0x42u8; 1462];
+    let mut g = c.benchmark_group("sram_ring");
+    g.throughput(Throughput::Bytes(1462));
+    g.bench_function("push_pop_1462B", |b| {
+        b.iter_batched(
+            || SramBuffer::new(160 * 1024),
+            |mut s| {
+                s.push(Dir::Tx, &msg).unwrap();
+                s.pop(Dir::Tx).unwrap()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_dram_channel(c: &mut Criterion) {
+    let cfg = DramConfig::ddr4_3200();
+    let mut g = c.benchmark_group("dram_channel");
+    g.sample_size(20);
+    // 1024 sequential line reads through the full FR-FCFS scheduler.
+    g.throughput(Throughput::Bytes(1024 * 64));
+    g.bench_function("stream_1024_lines", |b| {
+        b.iter_batched(
+            || Channel::new(&cfg, 0),
+            |mut ch| {
+                let mut issued = 0u64;
+                let mut done = 0u64;
+                while done < 1024 {
+                    while issued < 1024 && ch.can_accept(MemKind::Read) {
+                        ch.push(MemRequest::read(issued * 64, issued), SimTime::ZERO);
+                        issued += 1;
+                    }
+                    let t = ch.next_event().unwrap();
+                    done += ch.advance(t).len() as u64;
+                }
+                done
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_full_system_packet(c: &mut Criterion) {
+    use mcn::{McnConfig, McnSystem, SystemConfig};
+    let mut g = c.benchmark_group("full_system");
+    g.sample_size(10);
+    // Wall cost of pushing one UDP datagram host→DIMM through the whole
+    // model (drivers, SRAM, DRAM timing, stack).
+    g.bench_function("udp_host_to_dimm", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = McnSystem::new(&SystemConfig::default(), 1, McnConfig::level(1));
+                let us = sys.host.stack.udp_bind(5000).unwrap();
+                let ud = sys.dimm_mut(0).node.stack.udp_bind(6000).unwrap();
+                (sys, us, ud)
+            },
+            |(mut sys, us, ud)| {
+                let dimm_ip = sys.dimm_ip(0);
+                sys.host
+                    .stack
+                    .udp_send(us, dimm_ip, 6000, bytes::Bytes::from(vec![1u8; 1400]), sys.now())
+                    .unwrap();
+                sys.run_until(sys.now() + SimTime::from_us(100));
+                sys.dimm_mut(0).node.stack.udp_recv(ud).expect("delivered")
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_checksum,
+    bench_codecs,
+    bench_sram_ring,
+    bench_dram_channel,
+    bench_full_system_packet
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Internal calibration probe. Not part of the paper-figure set.
+use mcn_bench::*;
+use std::time::Instant;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    let t0 = Instant::now();
+    match arg.as_str() {
+        "eth" => {
+            let base = iperf_10gbe();
+            println!("10GbE iperf: {:.2} Gbps (took {}) wall={:?}", base.gbps, base.took, t0.elapsed());
+        }
+        "mcn" => {
+            let lvl: u32 = std::env::args().nth(2).unwrap().parse().unwrap();
+            let r = iperf_mcn(lvl, McnMode::HostMcn);
+            println!("mcn{lvl} host-mcn: {:.2} Gbps (took {}) wall={:?}", r.gbps, r.took, t0.elapsed());
+        }
+        "mcnmcn" => {
+            let lvl: u32 = std::env::args().nth(2).unwrap().parse().unwrap();
+            let r = iperf_mcn(lvl, McnMode::McnMcn);
+            println!("mcn{lvl} mcn-mcn: {:.2} Gbps (took {}) wall={:?}", r.gbps, r.took, t0.elapsed());
+        }
+        "ping" => {
+            let p0 = ping_10gbe(16, 20);
+            println!("10GbE ping 16B RTT: {p0} wall={:?}", t0.elapsed());
+            let p = ping_mcn(0, McnMode::HostMcn, 16, 20);
+            println!("mcn0 ping 16B RTT: {p} ({:.2}x)", p.as_ns_f64() / p0.as_ns_f64());
+        }
+        _ => eprintln!("usage: calibrate eth|mcn <lvl>|ping"),
+    }
+}

@@ -1,0 +1,36 @@
+//! Debug probe for workload timing on MCN vs conventional.
+use mcn::{McnConfig, McnSystem, SystemConfig};
+use mcn_mpi::placement::spawn_on_mcn;
+use mcn_mpi::{CommPattern, WorkloadSpec};
+use mcn_sim::SimTime;
+
+fn main() {
+    let dimms: usize = std::env::args().nth(1).map(|x| x.parse().unwrap()).unwrap_or(0);
+    let spec = match std::env::args().nth(2).as_deref() {
+        Some(name) => WorkloadSpec::by_name(name).expect("known benchmark"),
+        None => WorkloadSpec {
+            name: "bwtest", suite: "test", iterations: 2,
+            mem_bytes_per_iter: 48 << 20, read_frac: 0.8, random_access: false,
+            compute_ns_per_iter: 10_000,
+            comm: CommPattern::AllReduce { elems: 8 },
+        },
+    };
+    let t0 = std::time::Instant::now();
+    let mut sys = McnSystem::new(&SystemConfig::default(), dimms, McnConfig::level(3));
+    let report = spawn_on_mcn(&mut sys, spec, 4, if dimms > 0 { 3 } else { 0 }, 1);
+    assert!(sys.run_until_procs_done(SimTime::from_secs(20)));
+    let r = report.lock();
+    println!("dimms={dimms} completion={:?} wall={:?}", r.completion(), t0.elapsed());
+    for (i, f) in r.finished.iter().enumerate() {
+        println!("  rank {i}: {}", f.unwrap());
+    }
+    let el = r.completion().unwrap();
+    let hostb = sys.host.mem.total_bytes();
+    println!("host mem bytes={} ({:.1} GB/s)", hostb, hostb as f64 / el.as_secs_f64() / 1e9);
+    for d in 0..dimms {
+        let b = sys.dimm(d).node.mem.total_bytes();
+        println!("dimm{d} mem bytes={} ({:.1} GB/s)", b, b as f64/el.as_secs_f64()/1e9);
+    }
+    let hu: Vec<String> = (0..sys.host.cpus.cores()).map(|c| format!("{:.0}%", 100.0*sys.host.cpus.busy(c).as_secs_f64()/el.as_secs_f64())).collect();
+    println!("host util {hu:?}");
+}

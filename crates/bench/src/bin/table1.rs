@@ -1,0 +1,4 @@
+//! Prints the paper's Table I (MCN configurations).
+fn main() {
+    print!("{}", mcn::SystemConfig::render_table1());
+}

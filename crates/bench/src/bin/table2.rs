@@ -1,0 +1,4 @@
+//! Prints the paper's Table II (system configuration) from the live config.
+fn main() {
+    print!("{}", mcn::SystemConfig::default().render_table2());
+}

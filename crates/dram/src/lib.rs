@@ -1,0 +1,65 @@
+//! # mcn-dram — DDR4 memory subsystem timing model
+//!
+//! Substrate crate for the MCN reproduction. The paper's headline mechanism
+//! (Fig 3, Fig 9) is *structural*: every MCN DIMM owns private local memory
+//! channels, while conventional DIMMs share the host's global channels, so
+//! aggregate bandwidth scales with the number of MCN DIMMs. Reproducing that
+//! requires a memory model in which bandwidth emerges from channel-level
+//! contention — not a formula. This crate provides it:
+//!
+//! * [`DramConfig`] — JEDEC-style DDR4 timing/geometry parameters with a
+//!   DDR4-3200 preset matching Table II,
+//! * [`AddressMap`] — physical-address ↔ (channel, rank, bank group, bank,
+//!   row, column) mapping with cache-line channel interleaving; the same
+//!   interleaving the MCN driver's `memcpy_to_mcn` must compensate for,
+//! * [`Channel`] — a per-channel memory controller: FR-FCFS scheduling,
+//!   open-page policy, read/write queues with write-drain watermarks, bank /
+//!   bank-group / rank timing constraints (tRCD, tRP, tCL, tRAS, tRRD,
+//!   tFAW, tCCD_S/L, tWTR, tWR, tRTP), all-bank refresh (tREFI/tRFC), and a
+//!   shared data bus on which **MCN SRAM transactions contend with DRAM
+//!   traffic** (this is how MCN driver copies interact with host memory
+//!   traffic on the global channel),
+//! * [`check::TimingChecker`] — an independent validator that replays a
+//!   command trace and asserts every JEDEC constraint, used by the property
+//!   tests so the scheduler and the rulebook cannot share a bug.
+//!
+//! The controller is a *passive* component: callers `push` requests, ask
+//! [`Channel::next_event`] when it next wants to run, and call
+//! [`Channel::advance`] from their event loop to collect completions. This
+//! keeps the model directly unit-testable without an event loop.
+//!
+//! ```
+//! use mcn_dram::{Channel, DramConfig, MemKind, MemRequest, Target};
+//! use mcn_sim::SimTime;
+//!
+//! let cfg = DramConfig::ddr4_3200();
+//! let mut ch = Channel::new(&cfg, 0);
+//! ch.push(MemRequest::read(0x1000, 1), SimTime::ZERO);
+//! // Drive to completion.
+//! let done = loop {
+//!     let wake = ch.next_event().expect("work pending");
+//!     if let Some(c) = ch.advance(wake).into_iter().next() {
+//!         break c;
+//!     }
+//! };
+//! assert_eq!(done.tag, 1);
+//! assert_eq!(done.kind, MemKind::Read);
+//! # let _ = Target::Dram;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod bank;
+mod channel;
+mod config;
+
+pub mod check;
+
+pub use addr::{AddressMap, Interleave, Location};
+pub use channel::{Channel, ChannelStats, Completion, MemKind, MemRequest, Target};
+pub use config::DramConfig;
+
+/// Cache-line size in bytes; all DRAM transactions move one line.
+pub const LINE_BYTES: u64 = 64;

@@ -1,0 +1,290 @@
+//! # mcn-energy — power and energy model (McPAT substitute)
+//!
+//! The paper estimates power with McPAT in 22 nm (Sec. V) and reports
+//! energy efficiency of an MCN server against equal-core-count 10GbE
+//! scale-out clusters (Fig. 10). We replace McPAT with an explicit
+//! component power model whose constants are documented here and in
+//! DESIGN.md:
+//!
+//! * **cores** — active/idle power split by measured busy time
+//!   ([`mcn_node::CpuPool`] accounting). Host cores are big out-of-order
+//!   3.4 GHz parts; MCN cores are mobile-class (the paper quotes ~1.8 W
+//!   TDP for a quad-core mobile cluster and ≤5 W for a whole Snapdragon
+//!   835),
+//! * **uncore** — LLC, memory controllers, IO; a fixed per-node adder,
+//! * **DRAM** — energy per ACT/PRE pair, per 64-byte burst and per refresh
+//!   plus background power per rank, driven by the activity counters the
+//!   DRAM model already collects (Micron power-calculator methodology),
+//! * **network** — per-NIC and per-switch-port power for the Ethernet
+//!   baseline; MCN's "network" is the memory channel, whose energy is
+//!   already inside the DRAM/SRAM activity.
+//!
+//! Energy = Σ component power × elapsed time (+ per-event energies), so
+//! relative results depend on both the power ratios *and* the measured
+//! runtimes — exactly the trade Fig. 10 explores (mobile cores are slower
+//! but far more efficient; not every benchmark wins).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+use mcn::{EthernetCluster, McnSystem};
+use mcn_dram::ChannelStats;
+use mcn_sim::SimTime;
+
+/// Component power/energy constants. All powers in watts, energies in
+/// nanojoules.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerParams {
+    /// Host core, running (3.4 GHz OoO core, per-core share of package).
+    pub host_core_active_w: f64,
+    /// Host core, idle (clock-gated).
+    pub host_core_idle_w: f64,
+    /// Host uncore: LLC, MCs, IO.
+    pub host_uncore_w: f64,
+    /// MCN core, running (2.45 GHz mobile core).
+    pub mcn_core_active_w: f64,
+    /// MCN core, idle.
+    pub mcn_core_idle_w: f64,
+    /// MCN buffer-device uncore (interface SRAM, local MCs, glue).
+    pub mcn_uncore_w: f64,
+    /// Energy per ACT+PRE pair.
+    pub dram_act_nj: f64,
+    /// Energy per 64-byte read/write burst (incl. IO).
+    pub dram_burst_nj: f64,
+    /// Energy per all-bank refresh.
+    pub dram_refresh_nj: f64,
+    /// Background (standby) power per rank.
+    pub dram_background_w_per_rank: f64,
+    /// 10GbE NIC power (per node, baseline cluster only).
+    pub nic_w: f64,
+    /// Top-of-rack switch power per active port (baseline cluster only).
+    pub switch_port_w: f64,
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        PowerParams {
+            host_core_active_w: 5.5,
+            host_core_idle_w: 0.8,
+            host_uncore_w: 14.0,
+            mcn_core_active_w: 1.1,
+            mcn_core_idle_w: 0.08,
+            mcn_uncore_w: 1.2,
+            dram_act_nj: 18.0,
+            dram_burst_nj: 13.0,
+            dram_refresh_nj: 250.0,
+            dram_background_w_per_rank: 0.35,
+            nic_w: 6.5,
+            switch_port_w: 2.5,
+        }
+    }
+}
+
+/// Energy breakdown in joules.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Core energy (active + idle).
+    pub cpu_j: f64,
+    /// Uncore energy.
+    pub uncore_j: f64,
+    /// DRAM energy (activity + background).
+    pub dram_j: f64,
+    /// NIC + switch energy (zero for MCN servers).
+    pub network_j: f64,
+}
+
+impl EnergyReport {
+    /// Total energy in joules.
+    pub fn total(&self) -> f64 {
+        self.cpu_j + self.uncore_j + self.dram_j + self.network_j
+    }
+
+    fn add(&mut self, other: EnergyReport) {
+        self.cpu_j += other.cpu_j;
+        self.uncore_j += other.uncore_j;
+        self.dram_j += other.dram_j;
+        self.network_j += other.network_j;
+    }
+}
+
+impl std::fmt::Display for EnergyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "total {:.3} J (cpu {:.3}, uncore {:.3}, dram {:.3}, net {:.3})",
+            self.total(),
+            self.cpu_j,
+            self.uncore_j,
+            self.dram_j,
+            self.network_j
+        )
+    }
+}
+
+/// DRAM energy of one channel over `elapsed`, from its activity counters.
+pub fn dram_channel_energy(p: &PowerParams, stats: &ChannelStats, ranks: u32, elapsed: SimTime) -> f64 {
+    let acts = stats.activates.get() as f64;
+    let bursts = (stats.reads.get() + stats.writes.get() + stats.sram_ops.get()) as f64;
+    let refs = stats.refreshes.get() as f64;
+    let activity_nj = acts * p.dram_act_nj + bursts * p.dram_burst_nj + refs * p.dram_refresh_nj;
+    let background = p.dram_background_w_per_rank * ranks as f64 * elapsed.as_secs_f64();
+    activity_nj * 1e-9 + background
+}
+
+fn cores_energy(
+    active_w: f64,
+    idle_w: f64,
+    busy: SimTime,
+    cores: usize,
+    elapsed: SimTime,
+) -> f64 {
+    let busy_s = busy.as_secs_f64();
+    let idle_s = (elapsed.as_secs_f64() * cores as f64 - busy_s).max(0.0);
+    active_w * busy_s + idle_w * idle_s
+}
+
+/// Energy of an MCN-enabled server over `elapsed` of simulated time.
+pub fn mcn_system_energy(p: &PowerParams, sys: &McnSystem, elapsed: SimTime) -> EnergyReport {
+    let mut r = EnergyReport::default();
+    let cfg = sys.system_config();
+    // Host.
+    r.cpu_j += cores_energy(
+        p.host_core_active_w,
+        p.host_core_idle_w,
+        sys.host.cpus.total_busy(),
+        sys.host.cpus.cores(),
+        elapsed,
+    );
+    r.uncore_j += p.host_uncore_w * elapsed.as_secs_f64();
+    for ch in sys.host.mem.channels() {
+        r.dram_j += dram_channel_energy(p, ch.stats(), cfg.host_dram.ranks, elapsed);
+    }
+    // DIMMs.
+    for d in 0..sys.dimms() {
+        let dimm = sys.dimm(d);
+        r.cpu_j += cores_energy(
+            p.mcn_core_active_w,
+            p.mcn_core_idle_w,
+            dimm.node.cpus.total_busy(),
+            dimm.node.cpus.cores(),
+            elapsed,
+        );
+        r.uncore_j += p.mcn_uncore_w * elapsed.as_secs_f64();
+        for ch in dimm.node.mem.channels() {
+            r.dram_j += dram_channel_energy(p, ch.stats(), cfg.mcn_dram.ranks, elapsed);
+        }
+    }
+    r
+}
+
+/// Energy of the 10GbE baseline cluster over `elapsed`.
+pub fn cluster_energy(p: &PowerParams, c: &EthernetCluster, elapsed: SimTime) -> EnergyReport {
+    let mut r = EnergyReport::default();
+    for i in 0..c.len() {
+        let node = c.node(i);
+        r.cpu_j += cores_energy(
+            p.host_core_active_w,
+            p.host_core_idle_w,
+            node.node.cpus.total_busy(),
+            node.node.cpus.cores(),
+            elapsed,
+        );
+        r.uncore_j += p.host_uncore_w * elapsed.as_secs_f64();
+        for ch in node.node.mem.channels() {
+            r.dram_j += dram_channel_energy(p, ch.stats(), 2, elapsed);
+        }
+        r.network_j += (p.nic_w + p.switch_port_w) * elapsed.as_secs_f64();
+    }
+    let mut sum = EnergyReport::default();
+    sum.add(r);
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcn::{McnConfig, SystemConfig};
+
+    #[test]
+    fn idle_energy_scales_with_time() {
+        let p = PowerParams::default();
+        let sys = McnSystem::new(&SystemConfig::default(), 2, McnConfig::level(0));
+        let e1 = mcn_system_energy(&p, &sys, SimTime::from_ms(10));
+        let e2 = mcn_system_energy(&p, &sys, SimTime::from_ms(20));
+        assert!(e2.total() > 1.9 * e1.total());
+        assert_eq!(e1.network_j, 0.0, "MCN server has no NIC/switch");
+    }
+
+    #[test]
+    fn cluster_includes_network_power() {
+        let p = PowerParams::default();
+        let c = EthernetCluster::new(&SystemConfig::default(), 3);
+        let e = cluster_energy(&p, &c, SimTime::from_ms(10));
+        let expect = 3.0 * (p.nic_w + p.switch_port_w) * 0.01;
+        assert!((e.network_j - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_cores_cost_more_than_idle() {
+        let p = PowerParams::default();
+        let mut sys = McnSystem::new(&SystemConfig::default(), 1, McnConfig::level(0));
+        let idle = mcn_system_energy(&p, &sys, SimTime::from_ms(1)).cpu_j;
+        // Burn some host CPU.
+        sys.host
+            .cpus
+            .run_on(0, SimTime::ZERO, SimTime::from_ms(1));
+        let busy = mcn_system_energy(&p, &sys, SimTime::from_ms(1)).cpu_j;
+        assert!(busy > idle);
+        let delta = busy - idle;
+        let expect = (p.host_core_active_w - p.host_core_idle_w) * 1e-3;
+        assert!((delta - expect).abs() < 1e-9, "delta {delta} expect {expect}");
+    }
+
+    #[test]
+    fn dram_energy_tracks_traffic() {
+        use mcn_dram::{Channel, DramConfig, MemRequest};
+        let p = PowerParams::default();
+        let cfg = DramConfig::ddr4_3200();
+        let mut ch = Channel::new(&cfg, 0);
+        let quiet = dram_channel_energy(&p, ch.stats(), 2, SimTime::from_ms(1));
+        let mut issued = 0u64;
+        let mut now = SimTime::ZERO;
+        while issued < 64 || ch.outstanding() > 0 {
+            while issued < 64 && ch.can_accept(mcn_dram::MemKind::Read) {
+                ch.push(MemRequest::read(issued * 64, issued), now);
+                issued += 1;
+            }
+            let Some(t) = ch.next_event() else { break };
+            now = t;
+            ch.advance(t);
+        }
+        let active = dram_channel_energy(&p, ch.stats(), 2, SimTime::from_ms(1));
+        assert!(active > quiet);
+        // 64 bursts + the activates the interleaving produced (one per
+        // bank group touched).
+        let acts = ch.stats().activates.get() as f64;
+        let expect_nj = acts * p.dram_act_nj + 64.0 * p.dram_burst_nj;
+        assert!(((active - quiet) * 1e9 - expect_nj).abs() < 1.0);
+    }
+
+    #[test]
+    fn report_display_and_total() {
+        let r = EnergyReport {
+            cpu_j: 1.0,
+            uncore_j: 2.0,
+            dram_j: 3.0,
+            network_j: 4.0,
+        };
+        assert_eq!(r.total(), 10.0);
+        assert!(r.to_string().contains("total 10.000 J"));
+    }
+
+    #[test]
+    fn mobile_cores_cheaper_per_busy_second() {
+        let p = PowerParams::default();
+        assert!(p.mcn_core_active_w * 3.0 < p.host_core_active_w);
+        assert!(p.mcn_uncore_w * 5.0 < p.host_uncore_w);
+    }
+}

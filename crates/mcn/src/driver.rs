@@ -1,0 +1,269 @@
+//! Host-side MCN driver state: ports, polling agents, the forwarding
+//! engine's classification, and the memory-mapping unit's address math.
+//!
+//! The *logic* that moves packets runs in [`crate::system::McnSystem`]
+//! (it needs simultaneous access to the host node, the DIMMs and this
+//! state); this module owns the data and the pure decision functions so
+//! they are unit-testable in isolation.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::Ipv4Addr;
+
+use mcn_net::{EthernetFrame, MacAddr};
+use mcn_node::WaiterId;
+use mcn_sim::stats::{Counter, Histogram};
+use mcn_sim::SimTime;
+
+/// Waiter id for host-side driver jobs on the host memory system.
+pub const HOST_DRV_WAITER: WaiterId = 1 << 41;
+
+/// Host physical region where the MCN SRAM windows are mapped (reserved at
+/// "boot" via the device tree, paper Sec. II-A: `reserved_memory`).
+pub const SRAM_REGION_BASE: u64 = 3 << 30;
+/// Size of each DIMM's strided SRAM window.
+pub const SRAM_WINDOW_SPAN: u64 = 32 << 20;
+
+/// Where the host-side driver decides to send a packet read from an SRAM
+/// TX ring — the paper's forwarding cases F1–F4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardClass {
+    /// F1: destination MAC matches the receiving host-side interface.
+    Host,
+    /// F3: destination MAC matches another MCN-side interface.
+    Dimm(usize),
+    /// F2: broadcast — host plus every other DIMM.
+    Broadcast,
+    /// F4: neither — out the conventional NIC.
+    External,
+}
+
+/// The memory-mapping unit's address math (paper Fig. 6): the host sees
+/// DIMM `d`'s SRAM as a window whose consecutive 64-byte lines are strided
+/// by `64 × channels` so that every line lands on the DIMM's channel.
+///
+/// Returns `(base, stride)` for `memcpy_to_mcn`/`memcpy_from_mcn` patterns.
+pub fn sram_window(dimm: usize, dimm_channel: u32, host_channels: u32) -> (u64, u64) {
+    let raw = SRAM_REGION_BASE + dimm as u64 * SRAM_WINDOW_SPAN;
+    // Align the base onto the DIMM's channel under line interleaving.
+    let line = raw / 64;
+    let misalign = (dimm_channel as u64 + host_channels as u64
+        - (line % host_channels as u64))
+        % host_channels as u64;
+    (raw + misalign * 64, 64 * host_channels as u64)
+}
+
+/// Classifies a frame pulled from DIMM `src`'s TX ring (steps R3–R4).
+pub fn classify(
+    frame: &EthernetFrame,
+    host_macs: &[MacAddr],
+    dimm_macs: &[MacAddr],
+) -> ForwardClass {
+    if frame.dst.is_broadcast() {
+        return ForwardClass::Broadcast;
+    }
+    if host_macs.contains(&frame.dst) {
+        return ForwardClass::Host;
+    }
+    if let Some(i) = dimm_macs.iter().position(|m| *m == frame.dst) {
+        return ForwardClass::Dimm(i);
+    }
+    ForwardClass::External
+}
+
+/// Per-DIMM host-side state: the virtual Ethernet interface ("host-side
+/// interface") and its transmit/receive machinery.
+#[derive(Debug)]
+pub struct Port {
+    /// Interface index on the host stack.
+    pub ifidx: usize,
+    /// The DIMM this port talks to.
+    pub dimm: usize,
+    /// Host memory channel the DIMM is on.
+    pub channel: u32,
+    /// Host core that runs this port's transmit work.
+    pub core: usize,
+    /// MAC of the host-side interface.
+    pub mac: MacAddr,
+    /// IP of the host-side interface.
+    pub ip: Ipv4Addr,
+    /// Frames awaiting transmission into the DIMM's RX ring.
+    pub tx_queue: VecDeque<EthernetFrame>,
+    /// A TX copy is in flight (ring pushes are serialized per DIMM).
+    pub tx_busy: bool,
+    /// An RX copy is in flight.
+    pub rx_busy: bool,
+    /// SRAM window base for this DIMM.
+    pub sram_base: u64,
+    /// SRAM window stride.
+    pub sram_stride: u64,
+}
+
+/// Host-side driver job bookkeeping.
+#[derive(Debug)]
+pub enum HostOp {
+    /// Uncached read of a DIMM's `tx-poll` word (one line).
+    PollCheck {
+        /// Port being checked.
+        port: usize,
+    },
+    /// `memcpy_from_mcn` of the TX ring contents.
+    RxCopy {
+        /// Port being drained.
+        port: usize,
+        /// Copy start time (for the core-blocking charge and Table III).
+        started: SimTime,
+    },
+    /// `memcpy_to_mcn` of one frame into the DIMM's RX ring.
+    TxCopy {
+        /// Destination port.
+        port: usize,
+        /// The frame (applied functionally at completion).
+        frame: EthernetFrame,
+        /// Copy start time.
+        started: SimTime,
+    },
+}
+
+/// Aggregate host-side driver statistics (the `table3`/`fig8` harnesses
+/// read the histograms).
+#[derive(Debug, Default)]
+pub struct HostDriverStats {
+    /// Frames copied into DIMM RX rings.
+    pub tx_frames: Counter,
+    /// Frames read out of DIMM TX rings.
+    pub rx_frames: Counter,
+    /// F1 deliveries to the host stack.
+    pub f1_host: Counter,
+    /// F2 broadcasts.
+    pub f2_broadcast: Counter,
+    /// F3 DIMM-to-DIMM forwards.
+    pub f3_forward: Counter,
+    /// F4 external (conventional NIC) forwards.
+    pub f4_external: Counter,
+    /// HR-timer poll rounds.
+    pub polls: Counter,
+    /// ALERT_N interrupts taken.
+    pub alerts: Counter,
+    /// Transmissions deferred on a full DIMM RX ring.
+    pub tx_busy_events: Counter,
+    /// Driver transmit time per frame (driver entry → data in SRAM).
+    pub driver_tx: Histogram,
+    /// Driver receive time per frame (poll/alert hit → delivered).
+    pub driver_rx: Histogram,
+}
+
+/// Host-side driver state for all DIMMs.
+#[derive(Debug)]
+pub struct HostDriver {
+    /// One port per MCN DIMM.
+    pub ports: Vec<Port>,
+    /// In-flight memory jobs.
+    pub pending: HashMap<u64, HostOp>,
+    /// Statistics.
+    pub stats: HostDriverStats,
+}
+
+impl HostDriver {
+    /// Creates an empty driver (ports added by the system builder).
+    pub fn new() -> Self {
+        HostDriver {
+            ports: Vec::new(),
+            pending: HashMap::new(),
+            stats: HostDriverStats::default(),
+        }
+    }
+
+    /// MACs of all host-side interfaces.
+    pub fn host_macs(&self) -> Vec<MacAddr> {
+        self.ports.iter().map(|p| p.mac).collect()
+    }
+
+    /// Debug dump: per-port (tx_busy, rx_busy, tx_queue length).
+    pub fn debug_ports(&self) -> Vec<(bool, bool, usize)> {
+        self.ports
+            .iter()
+            .map(|p| (p.tx_busy, p.rx_busy, p.tx_queue.len()))
+            .collect()
+    }
+
+    /// Ports installed on `channel`.
+    pub fn ports_on_channel(&self, channel: u32) -> Vec<usize> {
+        self.ports
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.channel == channel)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl Default for HostDriver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn sram_window_lands_on_the_right_channel() {
+        for host_channels in [1u32, 2, 4] {
+            for dimm in 0..8usize {
+                let ch = dimm as u32 % host_channels;
+                let (base, stride) = sram_window(dimm, ch, host_channels);
+                assert_eq!(stride, 64 * host_channels as u64);
+                // Every line of the window maps to channel `ch` under
+                // cache-line interleaving.
+                for k in 0..64u64 {
+                    let addr = base + k * stride;
+                    assert_eq!(
+                        (addr / 64) % host_channels as u64,
+                        ch as u64,
+                        "dimm {dimm} line {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn windows_do_not_overlap() {
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for dimm in 0..8usize {
+            let (base, stride) = sram_window(dimm, dimm as u32 % 2, 2);
+            let end = base + (512 * 1024) * stride / 64; // generous ring size
+            for (b, e) in &spans {
+                assert!(end <= *b || base >= *e, "windows overlap");
+            }
+            spans.push((base, end));
+        }
+    }
+
+    #[test]
+    fn forwarding_classification_f1_to_f4() {
+        let host_macs = vec![MacAddr::from_id(0x0100), MacAddr::from_id(0x0101)];
+        let dimm_macs = vec![MacAddr::from_id(0x0200), MacAddr::from_id(0x0201)];
+        let mk = |dst: MacAddr| {
+            EthernetFrame::ipv4(dst, MacAddr::from_id(0x0200), Bytes::from_static(b""))
+        };
+        assert_eq!(
+            classify(&mk(host_macs[1]), &host_macs, &dimm_macs),
+            ForwardClass::Host
+        );
+        assert_eq!(
+            classify(&mk(dimm_macs[1]), &host_macs, &dimm_macs),
+            ForwardClass::Dimm(1)
+        );
+        assert_eq!(
+            classify(&mk(MacAddr::BROADCAST), &host_macs, &dimm_macs),
+            ForwardClass::Broadcast
+        );
+        assert_eq!(
+            classify(&mk(MacAddr::from_id(0x0999)), &host_macs, &dimm_macs),
+            ForwardClass::External
+        );
+    }
+}

@@ -1,0 +1,519 @@
+//! A rack of MCN-enabled servers joined by conventional 10GbE NICs and a
+//! top-of-rack switch.
+//!
+//! The paper's network organisation "supports the communication between
+//! MCN nodes connected to different hosts by having the source host forward
+//! the packet to the host of the destination MCN node through a
+//! conventional NIC" (Sec. III-B, forwarding case F4), and Sec. VII
+//! proposes replacing a rack of servers with MCN-enabled servers. This
+//! module makes F4 functional: an MCN node sending to an address that
+//! matches no local interface emits a frame with the "external" MAC; the
+//! host forwarding engine classifies it F4 and hands it to the NIC; the
+//! destination host receives it and injects it into its own MCN fabric.
+
+use mcn_net::link::{Link, Switch};
+use mcn_node::nic::{Nic, NicConfig, NicEvent, NIC_WAITER};
+use mcn_node::ProcId;
+use mcn_node::Process;
+use mcn_sim::SimTime;
+
+use crate::config::{McnConfig, SystemConfig};
+use crate::system::McnSystem;
+
+/// A rack: N MCN servers, one ToR switch.
+#[derive(Debug)]
+pub struct McnRack {
+    servers: Vec<McnSystem>,
+    nics: Vec<Nic>,
+    up: Vec<Link>,
+    down: Vec<Link>,
+    switch: Switch,
+    now: SimTime,
+}
+
+impl McnRack {
+    /// Builds `n_servers` servers of `dimms_per_server` DIMMs each at the
+    /// given optimisation level, fully routed.
+    pub fn new(
+        sys: &SystemConfig,
+        n_servers: usize,
+        dimms_per_server: usize,
+        cfg: McnConfig,
+    ) -> Self {
+        assert!((1..=10).contains(&n_servers), "address plan supports 1-10 servers");
+        let mut servers: Vec<McnSystem> = (0..n_servers)
+            .map(|s| {
+                let mut m = McnSystem::new_in_rack(sys, dimms_per_server, cfg, s);
+                m.attach_nic_iface();
+                m
+            })
+            .collect();
+        // Cross-server routes: every remote MCN-node and host-side address
+        // routes out the NIC towards the owning server's NIC.
+        for s in 0..n_servers {
+            for r in 0..n_servers {
+                if r == s {
+                    continue;
+                }
+                let gw = McnSystem::nic_ip(r);
+                let gw_mac = McnSystem::nic_mac(r);
+                for d in 0..dimms_per_server {
+                    let dimm_ip = crate::McnDimm::ip_for(r, d);
+                    let host_if = McnSystem::host_if_ip_for(r, d);
+                    servers[s].add_remote_route(dimm_ip, gw, gw_mac);
+                    servers[s].add_remote_route(host_if, gw, gw_mac);
+                }
+                servers[s].add_remote_route(gw, gw, gw_mac);
+            }
+        }
+        let mk_link = || Link::new(sys.eth_bytes_per_sec, sys.eth_latency);
+        McnRack {
+            nics: (0..n_servers).map(|_| Nic::new(NicConfig::default())).collect(),
+            up: (0..n_servers).map(|_| mk_link()).collect(),
+            down: (0..n_servers).map(|_| mk_link()).collect(),
+            switch: Switch::new(n_servers),
+            now: SimTime::ZERO,
+            servers,
+        }
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True for an empty rack (never constructed by [`new`](Self::new)).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Access server `s`.
+    pub fn server(&self, s: usize) -> &McnSystem {
+        &self.servers[s]
+    }
+
+    /// Mutable access to server `s`.
+    pub fn server_mut(&mut self, s: usize) -> &mut McnSystem {
+        &mut self.servers[s]
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Spawns a process on a host core of server `s`.
+    pub fn spawn_host(&mut self, s: usize, proc: Box<dyn Process>, core: usize) -> ProcId {
+        self.servers[s].spawn_host(proc, core)
+    }
+
+    /// Spawns a process on DIMM `d` of server `s`.
+    pub fn spawn_dimm(
+        &mut self,
+        s: usize,
+        d: usize,
+        proc: Box<dyn Process>,
+        core: usize,
+    ) -> ProcId {
+        self.servers[s].spawn_dimm(d, proc, core)
+    }
+
+    /// All processes on all servers finished?
+    pub fn all_procs_done(&self) -> bool {
+        self.servers.iter().all(|s| s.all_procs_done())
+    }
+
+    /// Earliest pending activity in the rack.
+    pub fn next_event(&mut self) -> Option<SimTime> {
+        let mut t: Option<SimTime> = None;
+        let mut fold = |x: Option<SimTime>| {
+            if let Some(x) = x {
+                t = Some(t.map_or(x, |c: SimTime| c.min(x)));
+            }
+        };
+        for s in &mut self.servers {
+            fold(s.next_event());
+        }
+        for n in &self.nics {
+            fold(n.next_event());
+        }
+        for l in self.up.iter().chain(self.down.iter()) {
+            fold(l.next_arrival());
+        }
+        t.map(|x| x.max(self.now))
+    }
+
+    /// Advances to the next event; `false` when idle.
+    pub fn step(&mut self) -> bool {
+        let Some(t) = self.next_event() else {
+            return false;
+        };
+        self.advance(t);
+        true
+    }
+
+    /// Runs until `deadline` (inclusive).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            match self.next_event() {
+                Some(t) if t <= deadline => self.advance(t),
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.advance(deadline);
+        }
+    }
+
+    /// Runs until all processes finish or `max`; `true` on completion.
+    pub fn run_until_procs_done(&mut self, max: SimTime) -> bool {
+        while !self.all_procs_done() {
+            match self.next_event() {
+                Some(t) if t <= max => self.advance(t),
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Who owns `ip` (by the rack address plan)?
+    fn owner_of(&self, ip: std::net::Ipv4Addr) -> Option<usize> {
+        let o = ip.octets();
+        if o == [192, 168, 0, 0] {
+            return None;
+        }
+        if o[0] == 192 && o[1] == 168 && o[2] == 0 {
+            let s = (o[3] as usize).checked_sub(1)?;
+            return (s < self.servers.len()).then_some(s);
+        }
+        if o[0] == 10 && o[1] >= 1 {
+            let s = (o[1] as usize - 1) / 24;
+            return (s < self.servers.len()).then_some(s);
+        }
+        None
+    }
+
+    /// Processes everything due at `t`.
+    pub fn advance(&mut self, t: SimTime) {
+        assert!(t >= self.now, "time must not go backwards");
+        self.now = t;
+        for round in 0.. {
+            assert!(round < 100_000, "rack advance did not converge");
+            let mut changed = false;
+            for s in 0..self.servers.len() {
+                self.servers[s].advance(t);
+                // NIC DMA completions the server collected for us.
+                for (waiter, job) in std::mem::take(&mut self.servers[s].foreign_jobs) {
+                    debug_assert_eq!(waiter, NIC_WAITER);
+                    let srv = &mut self.servers[s];
+                    self.nics[s].on_job_done(
+                        job,
+                        t,
+                        &mut srv.host.cpus,
+                        &srv.host.cost,
+                        false,
+                    );
+                    changed = true;
+                }
+                // F4 frames → NIC transmit, addressed to the owning server.
+                for mut frame in self.servers[s].take_external() {
+                    changed = true;
+                    let Some(dst_ip) = mcn_net::Ipv4Packet::decode(&frame.payload)
+                        .ok()
+                        .map(|p| p.dst)
+                    else {
+                        continue;
+                    };
+                    let Some(owner) = self.owner_of(dst_ip) else {
+                        continue; // truly external: leaves the rack (dropped)
+                    };
+                    frame.dst = McnSystem::nic_mac(owner);
+                    frame.src = McnSystem::nic_mac(s);
+                    let srv = &mut self.servers[s];
+                    let core = srv.host.cpus.least_loaded();
+                    self.nics[s].xmit(frame, t, core, &mut srv.host.cpus, &srv.host.cost);
+                }
+                // NIC pipeline.
+                let srv = &mut self.servers[s];
+                for ev in self.nics[s].advance(t, &mut srv.host.mem) {
+                    changed = true;
+                    match ev {
+                        NicEvent::TxWire(frame) => self.up[s].send(frame, t),
+                        NicEvent::RxDeliver(frame) => {
+                            self.servers[s].ingress_external(frame, t);
+                        }
+                    }
+                }
+                // Switch fabric.
+                for frame in self.up[s].poll(t) {
+                    changed = true;
+                    let fwd_at = t + self.switch.forward_latency;
+                    for p in self.switch.route(&frame, s) {
+                        self.down[p].send(frame.clone(), fwd_at);
+                    }
+                }
+                for frame in self.down[s].poll(t) {
+                    changed = true;
+                    let srv = &mut self.servers[s];
+                    self.nics[s].wire_rx(frame, t, &mut srv.host.mem);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn mk(servers: usize, dimms: usize, level: u32) -> McnRack {
+        McnRack::new(&SystemConfig::default(), servers, dimms, McnConfig::level(level))
+    }
+
+    #[test]
+    fn address_plan_is_disjoint() {
+        let rack = mk(3, 2, 1);
+        let mut all = std::collections::HashSet::new();
+        for s in 0..3 {
+            assert!(all.insert(McnSystem::nic_ip(s)));
+            for d in 0..2 {
+                assert!(all.insert(rack.server(s).dimm_ip(d)));
+                assert!(all.insert(McnSystem::host_if_ip_for(s, d)));
+            }
+        }
+        assert_eq!(rack.owner_of(rack.server(2).dimm_ip(1)), Some(2));
+        assert_eq!(rack.owner_of(McnSystem::nic_ip(0)), Some(0));
+        assert_eq!(rack.owner_of(std::net::Ipv4Addr::new(8, 8, 8, 8)), None);
+    }
+
+    #[test]
+    fn udp_between_mcn_nodes_of_different_servers() {
+        // DIMM 0 of server 0 → DIMM 1 of server 1: SRAM ring → host →
+        // F4 → NIC → switch → NIC → host → T1-T3 → SRAM ring.
+        let mut rack = mk(2, 2, 1);
+        let dst_ip = rack.server(1).dimm_ip(1);
+        let u_src = rack
+            .server_mut(0)
+            .dimm_mut(0)
+            .node
+            .stack
+            .udp_bind(7000)
+            .unwrap();
+        let u_dst = rack
+            .server_mut(1)
+            .dimm_mut(1)
+            .node
+            .stack
+            .udp_bind(7001)
+            .unwrap();
+        rack.server_mut(0)
+            .dimm_mut(0)
+            .node
+            .stack
+            .udp_send(u_src, dst_ip, 7001, Bytes::from(vec![0xE4u8; 900]), SimTime::ZERO)
+            .unwrap();
+        rack.run_until(SimTime::from_ms(1));
+        let (from, _, data) = rack
+            .server_mut(1)
+            .dimm_mut(1)
+            .node
+            .stack
+            .udp_recv(u_dst)
+            .expect("datagram crossed two memory channels and the wire");
+        assert_eq!(from, crate::McnDimm::ip_for(0, 0));
+        assert_eq!(data.len(), 900);
+        assert_eq!(rack.server(0).hdrv.stats.f4_external.get(), 1);
+    }
+
+    #[test]
+    fn tcp_across_the_rack() {
+        let mut rack = mk(2, 1, 3);
+        let dst_ip = rack.server(1).dimm_ip(0);
+        let lst = rack
+            .server_mut(1)
+            .dimm_mut(0)
+            .node
+            .stack
+            .tcp_listen(9000)
+            .unwrap();
+        let cs = rack
+            .server_mut(0)
+            .dimm_mut(0)
+            .node
+            .stack
+            .tcp_connect(dst_ip, 9000, SimTime::ZERO)
+            .unwrap();
+        rack.run_until(SimTime::from_ms(5));
+        assert_eq!(
+            rack.server(0).dimm(0).node.stack.tcp_state(cs),
+            mcn_net::tcp::TcpState::Established,
+            "handshake across the rack"
+        );
+        let ss = rack
+            .server_mut(1)
+            .dimm_mut(0)
+            .node
+            .stack
+            .tcp_accept(lst)
+            .unwrap();
+        let data: Vec<u8> = (0..64 * 1024u32).map(|i| (i % 247) as u8).collect();
+        let mut sent = 0;
+        let mut got = Vec::new();
+        let mut buf = vec![0u8; 32768];
+        let mut guard = 0;
+        while got.len() < data.len() {
+            let now = rack.now();
+            if sent < data.len() {
+                sent += rack
+                    .server_mut(0)
+                    .dimm_mut(0)
+                    .node
+                    .stack
+                    .tcp_send(cs, &data[sent..], now)
+                    .unwrap();
+            }
+            rack.run_until(rack.now() + SimTime::from_us(200));
+            loop {
+                let now = rack.now();
+                let n = rack
+                    .server_mut(1)
+                    .dimm_mut(0)
+                    .node
+                    .stack
+                    .tcp_recv(ss, &mut buf, now)
+                    .unwrap();
+                if n == 0 {
+                    break;
+                }
+                got.extend_from_slice(&buf[..n]);
+            }
+            guard += 1;
+            assert!(guard < 20_000, "stalled at {} bytes", got.len());
+        }
+        assert_eq!(got, data, "byte-exact across two MCN fabrics + Ethernet");
+    }
+
+    #[test]
+    fn intra_server_traffic_stays_off_the_wire() {
+        let mut rack = mk(2, 2, 1);
+        let dst = rack.server(0).dimm_ip(1);
+        let u0 = rack
+            .server_mut(0)
+            .dimm_mut(0)
+            .node
+            .stack
+            .udp_bind(7000)
+            .unwrap();
+        let u1 = rack
+            .server_mut(0)
+            .dimm_mut(1)
+            .node
+            .stack
+            .udp_bind(7001)
+            .unwrap();
+        rack.server_mut(0)
+            .dimm_mut(0)
+            .node
+            .stack
+            .udp_send(u0, dst, 7001, Bytes::from(vec![1u8; 100]), SimTime::ZERO)
+            .unwrap();
+        rack.run_until(SimTime::from_ms(1));
+        assert!(rack
+            .server_mut(0)
+            .dimm_mut(1)
+            .node
+            .stack
+            .udp_recv(u1)
+            .is_some());
+        assert_eq!(rack.server(0).hdrv.stats.f3_forward.get(), 1);
+        assert_eq!(rack.server(0).hdrv.stats.f4_external.get(), 0);
+        assert_eq!(rack.nics[0].tx_frames.get(), 0, "nothing on the wire");
+    }
+}
+
+#[cfg(test)]
+mod direct_tests {
+    use super::*;
+    use crate::{McnConfig, McnSystem, SystemConfig};
+    use bytes::Bytes;
+    use mcn_sim::SimTime;
+
+    #[test]
+    fn direct_messages_bypass_the_stack_both_ways() {
+        // Sec. VII future work: the shared-memory-style channel moves a
+        // message with no TCP/IP segments at all.
+        let mut sys = McnSystem::new(&SystemConfig::default(), 1, McnConfig::level(1));
+        let host_mac = sys.hdrv.ports[0].mac;
+
+        // Host → DIMM.
+        sys.direct_send(0, Bytes::from(vec![7u8; 3000]), SimTime::ZERO);
+        sys.run_until(SimTime::from_us(100));
+        let (at, payload) = sys
+            .dimm_mut(0)
+            .direct_rx
+            .pop_front()
+            .expect("direct message delivered");
+        assert_eq!(payload.len(), 3000);
+        assert!(at > SimTime::ZERO && at < SimTime::from_us(100));
+
+        // DIMM → host.
+        let now = sys.now();
+        sys.dimm_mut(0)
+            .direct_send(host_mac, Bytes::from(vec![9u8; 500]), now);
+        sys.run_until(sys.now() + SimTime::from_us(100));
+        let (_, src, payload) = sys.direct_rx.pop().expect("reverse direct message");
+        assert_eq!(src, 0);
+        assert_eq!(payload.len(), 500);
+
+        // Nothing went through TCP.
+        let t = sys.host.stack.tcp_totals();
+        assert_eq!(t.data_segs_out + t.acks_out, 0);
+        assert_eq!(sys.host.stack.stats.frames_in.get(), 0);
+    }
+
+    #[test]
+    fn direct_round_trip_beats_tcp_latency() {
+        // Measure a direct ping-pong vs the ICMP ping at the same level.
+        let mut sys = McnSystem::new(&SystemConfig::default(), 1, McnConfig::level(1));
+        let host_mac = sys.hdrv.ports[0].mac;
+        let t0 = sys.now();
+        sys.direct_send(0, Bytes::from(vec![1u8; 56]), t0);
+        // Wait for delivery, then bounce back.
+        let mut guard = 0;
+        while sys.dimm_mut(0).direct_rx.is_empty() {
+            assert!(sys.step(), "idle before delivery");
+            guard += 1;
+            assert!(guard < 100_000);
+        }
+        let now = sys.now();
+        sys.dimm_mut(0)
+            .direct_send(host_mac, Bytes::from(vec![2u8; 56]), now);
+        while sys.direct_rx.is_empty() {
+            assert!(sys.step(), "idle before reply");
+            guard += 1;
+            assert!(guard < 200_000);
+        }
+        let direct_rtt = sys.now() - t0;
+        // Compare with an ICMP ping over the full stack on the same system.
+        let t1 = sys.now();
+        let dimm_ip = sys.dimm_ip(0);
+        sys.host
+            .stack
+            .send_ping(dimm_ip, 3, 1, Bytes::from(vec![0u8; 56]), t1)
+            .unwrap();
+        while sys.host.stack.pop_ping_reply().is_none() {
+            assert!(sys.step(), "idle before echo reply");
+            guard += 1;
+            assert!(guard < 400_000);
+        }
+        let icmp_rtt = sys.now() - t1;
+        assert!(
+            direct_rtt < icmp_rtt,
+            "bypass {direct_rtt} should beat the stack path {icmp_rtt}"
+        );
+    }
+}

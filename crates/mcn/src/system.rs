@@ -1,0 +1,1063 @@
+//! The MCN-enabled server: host + MCN DIMMs + the host-side driver logic.
+//!
+//! This is where the paper's Sec. III-B/IV flows run end-to-end:
+//!
+//! * **transmit** (host→DIMM, steps T1–T3): protocol processing charged on
+//!   the sending port's core, driver work, then `memcpy_to_mcn` — a real
+//!   copy job whose destination pattern is strided by `64 × channels`
+//!   (Fig. 6) so it lands entirely on the DIMM's channel, contending with
+//!   every other use of that channel. At completion the frame lands in
+//!   the DIMM's SRAM RX ring and the MCN interface interrupt fires.
+//! * **polling agent** (mcn0): an HR timer per memory channel fires every
+//!   `poll_interval`, pays the timer cost, and issues one uncached line
+//!   read per DIMM to check `tx-poll` (steps R1–R5 follow on a hit).
+//! * **ALERT_N** (mcn1+): a DIMM raising `tx-poll` interrupts the host
+//!   after `alert_latency`; only then does the driver poll that channel.
+//! * **receive** (R1–R5) and the **packet forwarding engine** (F1–F4):
+//!   `memcpy_from_mcn` drains the TX ring, then each message is classified
+//!   by destination MAC — up the host stack (F1), copied into another
+//!   DIMM's RX ring (F3), both plus replication (F2), or counted as
+//!   external (F4; the single-server system has no conventional NIC).
+//! * **MCN-DMA** (mcn5): the same copy jobs run, but the cores pay only
+//!   the engine setup cost instead of being blocked for the duration.
+
+use std::net::Ipv4Addr;
+
+use mcn_dram::Target;
+use mcn_net::tcp::TcpConfig;
+use mcn_net::{EthernetFrame, MacAddr, NetConfig};
+use mcn_node::mem::{Pattern, Transfer};
+use mcn_node::nic::{rx_protocol_cost, tx_protocol_cost};
+use mcn_node::{CostModel, JobId, Node, ProcId, Process};
+use mcn_sim::{EventQueue, SimTime};
+
+use crate::config::{McnConfig, SystemConfig};
+use crate::dimm::{DimmSignal, McnDimm};
+use crate::driver::{
+    classify, sram_window, ForwardClass, HostDriver, HostOp, Port, HOST_DRV_WAITER,
+};
+use crate::sram::Dir;
+
+#[derive(Debug)]
+enum Effect {
+    /// Frame finished host TX protocol processing; hand to the port driver.
+    PortXmit { port: usize, frame: EthernetFrame },
+    /// Retry the head of a port's transmit queue.
+    TryPortTx { port: usize },
+    /// Driver work done; start the `memcpy_to_mcn` job.
+    StartTxCopy { port: usize, frame: EthernetFrame },
+    /// HR-timer polling round on a channel (mcn0).
+    PollFire { channel: u32 },
+    /// ALERT_N delivered to the host for a channel (mcn1+).
+    HostAlert { channel: u32 },
+    /// Begin draining a DIMM's TX ring.
+    StartHostRx { port: usize },
+    /// Deliver a fully-charged frame to the host stack.
+    HostDeliver { ifidx: usize, frame: EthernetFrame },
+    /// The MCN interface IRQ on a DIMM (rx-poll set).
+    DimmIrq { dimm: usize },
+    /// Tell a DIMM its TX ring was drained.
+    DimmKick { dimm: usize },
+}
+
+/// A full MCN-enabled server; see the module docs.
+///
+/// Construct with [`McnSystem::new`], attach application processes with
+/// [`spawn_host`](Self::spawn_host) / [`spawn_dimm`](Self::spawn_dimm),
+/// then drive with [`run_until`](Self::run_until) or
+/// [`run_until_procs_done`](Self::run_until_procs_done).
+#[derive(Debug)]
+pub struct McnSystem {
+    sys: SystemConfig,
+    cfg: McnConfig,
+    now: SimTime,
+    server_id: usize,
+    /// The host node (public for instrumentation in harnesses/tests).
+    pub host: Node,
+    dimms: Vec<McnDimm>,
+    /// Host-side driver state (public for harness statistics access).
+    pub hdrv: HostDriver,
+    effects: EventQueue<Effect>,
+    scratch: u64,
+    /// Interface index of the conventional NIC (rack servers only).
+    nic_ifidx: Option<usize>,
+    /// Host memory-job completions owned by devices outside this system
+    /// (the rack's NIC DMA); drained by the orchestrator.
+    pub foreign_jobs: Vec<(mcn_node::WaiterId, JobId)>,
+    /// Received direct (stack-bypassing) messages on the host side:
+    /// (arrival time, source DIMM, payload). Sec. VII future work.
+    pub direct_rx: Vec<(SimTime, usize, bytes::Bytes)>,
+    /// Frames the forwarding engine classified F4 (external): destined for
+    /// the conventional NIC. A rack orchestrator drains these; a standalone
+    /// server counts them in `hdrv.stats.f4_external` and drops them here.
+    pub external_out: Vec<EthernetFrame>,
+}
+
+impl McnSystem {
+    /// Builds a server with `n_dimms` MCN DIMMs at optimisation level
+    /// `cfg`, spreading DIMMs evenly across host channels.
+    pub fn new(sys: &SystemConfig, n_dimms: usize, cfg: McnConfig) -> Self {
+        Self::new_in_rack(sys, n_dimms, cfg, 0)
+    }
+
+    /// Builds server `server_id` of a rack (shifted address plan; see
+    /// [`crate::rack::McnRack`]).
+    pub fn new_in_rack(
+        sys: &SystemConfig,
+        n_dimms: usize,
+        cfg: McnConfig,
+        server_id: usize,
+    ) -> Self {
+        let mut tcp = TcpConfig::default();
+        tcp.mss = cfg.mtu() - mcn_net::IPV4_HEADER_BYTES - mcn_net::TCP_HEADER_BYTES;
+        let mut host = Node::new(
+            sys.host_cores,
+            CostModel::host(),
+            &sys.host_dram,
+            sys.host_channels,
+            tcp,
+        );
+        let mut hdrv = HostDriver::new();
+        let mut dimms = Vec::new();
+        if n_dimms == 0 {
+            // Pure scale-up server (Fig. 11 baseline): no MCN interfaces
+            // exist, but local MPI ranks still talk over loopback; give the
+            // stack one address to bind/connect through. Loopback-class
+            // interface: 64 KB MTU, no checksums, TSO-style big segments.
+            host.stack.add_interface(NetConfig {
+                mac: MacAddr::from_id(1),
+                ip: Self::loopback_ip(),
+                mtu: 65536 - mcn_net::IPV4_HEADER_BYTES,
+                tx_checksum: false,
+                rx_checksum: false,
+                tso: true,
+            });
+            host.stack.add_route(
+                Self::loopback_ip(),
+                Ipv4Addr::new(255, 255, 255, 255),
+                0,
+                None,
+            );
+        }
+        for d in 0..n_dimms {
+            let channel = (d as u32) % sys.host_channels;
+            let mac = MacAddr::from_id(0x0100 + (server_id as u16) * 0x40 + d as u16);
+            let ip = Self::host_if_ip_for(server_id, d);
+            let ifidx = host.stack.add_interface(NetConfig {
+                mac,
+                ip,
+                mtu: cfg.mtu(),
+                tx_checksum: !cfg.checksum_bypass,
+                rx_checksum: !cfg.checksum_bypass,
+                tso: cfg.tso,
+            });
+            let dimm = McnDimm::new_in_server(server_id, d, channel, sys, cfg, ip, mac);
+            // Host-side /32 route: forward to this interface iff the entire
+            // destination IP matches the DIMM (paper Sec. III-B).
+            host.stack.add_route(
+                dimm.ip(),
+                Ipv4Addr::new(255, 255, 255, 255),
+                ifidx,
+                None,
+            );
+            host.stack.add_neighbor(dimm.ip(), dimm.mac());
+            let (sram_base, sram_stride) = sram_window(d, channel, sys.host_channels);
+            let tx_cores = sys.host_cores.saturating_sub(sys.host_channels as usize).max(1);
+            hdrv.ports.push(Port {
+                ifidx,
+                dimm: d,
+                channel,
+                core: d % tx_cores,
+                mac,
+                ip,
+                tx_queue: Default::default(),
+                tx_busy: false,
+                rx_busy: false,
+                sram_base,
+                sram_stride,
+            });
+            dimms.push(dimm);
+        }
+        // Every MCN node knows every other MCN node's MAC and every
+        // host-side interface's MAC (static neighbor tables stand in for
+        // ARP; the host still arbitrates all the traffic).
+        let pairs: Vec<(Ipv4Addr, MacAddr)> =
+            dimms.iter().map(|d| (d.ip(), d.mac())).collect();
+        let host_pairs: Vec<(Ipv4Addr, MacAddr)> = hdrv
+            .ports
+            .iter()
+            .map(|p| (p.ip, p.mac))
+            .collect();
+        for d in dimms.iter_mut() {
+            let own = d.ip();
+            for (ip, mac) in pairs.iter().chain(host_pairs.iter()) {
+                if *ip != own {
+                    d.node.stack.add_neighbor(*ip, *mac);
+                }
+            }
+        }
+        let mut effects = EventQueue::new();
+        if !cfg.alert_interrupt && n_dimms > 0 {
+            for channel in 0..sys.host_channels {
+                effects.schedule(sys.poll_interval, Effect::PollFire { channel });
+            }
+        }
+        McnSystem {
+            sys: sys.clone(),
+            cfg,
+            now: SimTime::ZERO,
+            server_id,
+            host,
+            dimms,
+            hdrv,
+            effects,
+            scratch: 0,
+            nic_ifidx: None,
+            foreign_jobs: Vec::new(),
+            direct_rx: Vec::new(),
+            external_out: Vec::new(),
+        }
+    }
+
+    /// Sends a direct (stack-bypassing) message to DIMM `d` — the Sec. VII
+    /// mTCP-style path: one driver handoff plus the SRAM copy, no TCP/IP.
+    pub fn direct_send(&mut self, d: usize, payload: bytes::Bytes, now: SimTime) {
+        assert!(now >= self.now);
+        self.now = self.now.max(now);
+        let frame = EthernetFrame {
+            dst: self.dimms[d].mac(),
+            src: self.hdrv.ports[d].mac,
+            ethertype: mcn_net::EtherType::Other(crate::dimm::DIRECT_ETHERTYPE),
+            payload,
+            fcs_ok: true,
+        };
+        self.effects.schedule(now, Effect::PortXmit { port: d, frame });
+        self.advance(now);
+    }
+
+    /// Attaches a conventional NIC interface to the host stack (rack
+    /// servers). Returns the interface index; the rack wires routes with
+    /// [`add_remote_route`](Self::add_remote_route).
+    pub fn attach_nic_iface(&mut self) -> usize {
+        let ifidx = self.host.stack.add_interface(NetConfig {
+            mac: Self::nic_mac(self.server_id),
+            ip: Self::nic_ip(self.server_id),
+            mtu: mcn_net::MTU_ETHERNET,
+            tx_checksum: false,
+            rx_checksum: false,
+            tso: false,
+        });
+        self.nic_ifidx = Some(ifidx);
+        ifidx
+    }
+
+    /// The conventional NIC's MAC for rack server `s`.
+    pub fn nic_mac(s: usize) -> MacAddr {
+        MacAddr::from_id(0x0400 + s as u16)
+    }
+
+    /// The conventional NIC's IP for rack server `s`.
+    pub fn nic_ip(s: usize) -> Ipv4Addr {
+        Ipv4Addr::new(192, 168, 0, (s + 1) as u8)
+    }
+
+    /// Routes `dst` out the conventional NIC towards `gw` (a remote
+    /// server's NIC address/MAC).
+    pub fn add_remote_route(&mut self, dst: Ipv4Addr, gw: Ipv4Addr, gw_mac: MacAddr) {
+        let ifidx = self.nic_ifidx.expect("attach_nic_iface first");
+        self.host
+            .stack
+            .add_route(dst, Ipv4Addr::new(255, 255, 255, 255), ifidx, Some(gw));
+        self.host.stack.add_neighbor(gw, gw_mac);
+    }
+
+    /// IP of host-side interface `i` (`10.(i+1).0.1`).
+    pub fn host_if_ip(i: usize) -> Ipv4Addr {
+        Self::host_if_ip_for(0, i)
+    }
+
+    /// Rack variant of [`host_if_ip`](Self::host_if_ip).
+    pub fn host_if_ip_for(server: usize, i: usize) -> Ipv4Addr {
+        Ipv4Addr::new(10, (server * 24 + i + 1) as u8, 0, 1)
+    }
+
+    /// This server's id within its rack (0 standalone).
+    pub fn server_id(&self) -> usize {
+        self.server_id
+    }
+
+    /// The host's self-address in a system with zero DIMMs (scale-up
+    /// baseline): local ranks connect to each other through it.
+    pub fn loopback_ip() -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, 1)
+    }
+
+    /// The address other ranks (and local ranks) use to reach processes on
+    /// the host.
+    pub fn host_rank_ip(&self) -> Ipv4Addr {
+        if self.dimms.is_empty() {
+            Self::loopback_ip()
+        } else {
+            Self::host_if_ip_for(self.server_id, 0)
+        }
+    }
+
+    /// IP of DIMM `i` (`10.(i+1).0.2`, shifted in racks).
+    pub fn dimm_ip(&self, i: usize) -> Ipv4Addr {
+        McnDimm::ip_for(self.server_id, i)
+    }
+
+    /// Number of MCN DIMMs installed.
+    pub fn dimms(&self) -> usize {
+        self.dimms.len()
+    }
+
+    /// Access a DIMM.
+    pub fn dimm(&self, d: usize) -> &McnDimm {
+        &self.dimms[d]
+    }
+
+    /// Mutable access to a DIMM.
+    pub fn dimm_mut(&mut self, d: usize) -> &mut McnDimm {
+        &mut self.dimms[d]
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The active optimisation configuration.
+    pub fn config(&self) -> McnConfig {
+        self.cfg
+    }
+
+    /// The system configuration.
+    pub fn system_config(&self) -> &SystemConfig {
+        &self.sys
+    }
+
+    /// Spawns an application process on a host core.
+    pub fn spawn_host(&mut self, proc: Box<dyn Process>, core: usize) -> ProcId {
+        self.host.runner.spawn(proc, core)
+    }
+
+    /// Spawns an application process on a core of DIMM `d`.
+    pub fn spawn_dimm(&mut self, d: usize, proc: Box<dyn Process>, core: usize) -> ProcId {
+        self.dimms[d].node.runner.spawn(proc, core)
+    }
+
+    /// All application processes (host + DIMMs) finished?
+    pub fn all_procs_done(&self) -> bool {
+        self.host.runner.all_done() && self.dimms.iter().all(|d| d.node.runner.all_done())
+    }
+
+    fn poll_core(&self, channel: u32) -> usize {
+        if self.sys.host_cores > self.sys.host_channels as usize {
+            self.sys.host_cores - 1 - channel as usize
+        } else {
+            channel as usize % self.sys.host_cores
+        }
+    }
+
+    fn scratch_addr(&mut self, bytes: u64) -> u64 {
+        const BASE: u64 = 2 << 30;
+        const SPAN: u64 = 256 << 20;
+        let lines = bytes.div_ceil(64);
+        if self.scratch + lines * 64 > SPAN {
+            self.scratch = 0;
+        }
+        let a = BASE + self.scratch;
+        self.scratch += lines * 64;
+        a
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    /// Earliest pending activity anywhere in the system.
+    pub fn next_event(&mut self) -> Option<SimTime> {
+        let mut t = self.effects.peek_time();
+        let fold = |x: Option<SimTime>, t: &mut Option<SimTime>| {
+            if let Some(x) = x {
+                *t = Some(t.map_or(x, |c: SimTime| c.min(x)));
+            }
+        };
+        fold(self.host.next_event(), &mut t);
+        for d in &self.dimms {
+            fold(d.next_event(), &mut t);
+        }
+        t.map(|x| x.max(self.now))
+    }
+
+    /// Advances to the next event; returns `false` when fully idle.
+    pub fn step(&mut self) -> bool {
+        let Some(t) = self.next_event() else {
+            return false;
+        };
+        self.advance(t);
+        true
+    }
+
+    /// Runs until `deadline` (inclusive); the system clock ends at
+    /// `deadline` even if idle before it.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            match self.next_event() {
+                Some(t) if t <= deadline => self.advance(t),
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.advance(deadline);
+        }
+    }
+
+    /// Runs until every spawned process finished or `max` is reached;
+    /// returns `true` on completion.
+    pub fn run_until_procs_done(&mut self, max: SimTime) -> bool {
+        while !self.all_procs_done() {
+            match self.next_event() {
+                Some(t) if t <= max => self.advance(t),
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Processes everything due at time `t`.
+    pub fn advance(&mut self, t: SimTime) {
+        assert!(t >= self.now, "time must not go backwards");
+        self.now = t;
+        for round in 0.. {
+            assert!(round < 100_000, "system advance did not converge");
+            if round > 0 && round % 1000 == 0 && std::env::var("MCN_SYS_DEBUG").is_ok() {
+                eprintln!("advance({t}) round {round}");
+            }
+            let mut changed = false;
+
+            // 1. Host memory-job completions → driver ops (NIC DMA jobs
+            // belong to the rack orchestrator).
+            for (waiter, job) in self.host.advance_mem(t) {
+                if waiter == HOST_DRV_WAITER {
+                    self.on_host_job(job, t);
+                } else {
+                    self.foreign_jobs.push((waiter, job));
+                }
+                changed = true;
+            }
+
+            // 2. DIMMs progress; their signals feed the host side.
+            for d in 0..self.dimms.len() {
+                for sig in self.dimms[d].advance(t) {
+                    changed = true;
+                    match sig {
+                        DimmSignal::TxPollRaised(at) => {
+                            if self.cfg.alert_interrupt {
+                                let channel = self.dimms[d].channel();
+                                self.effects.schedule(
+                                    (at + self.sys.alert_latency).max(t),
+                                    Effect::HostAlert { channel },
+                                );
+                            }
+                        }
+                        DimmSignal::RxSpaceFreed(_) => {
+                            let port = d; // port index == dimm index
+                            self.effects.schedule(t, Effect::TryPortTx { port });
+                        }
+                    }
+                }
+            }
+
+            // 3. Due staged effects.
+            while self.effects.peek_time().is_some_and(|pt| pt <= t) {
+                let (_, e) = self.effects.pop().expect("peeked");
+                self.apply(e, t);
+                changed = true;
+            }
+
+            // 4. Host stack timers, processes, outbound frames.
+            self.host.service_stack(t);
+            if self.host.run_procs(t) {
+                changed = true;
+            }
+            if self.drain_host_stack(t) {
+                changed = true;
+            }
+
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Charges TX protocol processing for frames the host stack queued on
+    /// MCN interfaces and stages them into the driver.
+    fn drain_host_stack(&mut self, now: SimTime) -> bool {
+        let mut any = false;
+        if let Some(nic_if) = self.nic_ifidx {
+            while let Some(frame) = self.host.stack.poll_output(nic_if) {
+                let proto = tx_protocol_cost(&self.host.cost, &frame, false);
+                let core = self.host.cpus.least_loaded();
+                self.host.cpus.run_on(core, now, proto);
+                self.external_out.push(frame);
+                any = true;
+            }
+        }
+        for p in 0..self.hdrv.ports.len() {
+            let (ifidx, core) = (self.hdrv.ports[p].ifidx, self.hdrv.ports[p].core);
+            while let Some(frame) = self.host.stack.poll_output(ifidx) {
+                let sw_csum = !self.cfg.checksum_bypass;
+                let proto = tx_protocol_cost(&self.host.cost, &frame, sw_csum);
+                let (_, end) = self.host.cpus.run_on(core, now, proto);
+                self.effects.schedule(end, Effect::PortXmit { port: p, frame });
+                any = true;
+            }
+        }
+        any
+    }
+
+    fn apply(&mut self, e: Effect, now: SimTime) {
+        match e {
+            Effect::PortXmit { port, frame } => {
+                self.hdrv.ports[port].tx_queue.push_back(frame);
+                self.try_port_tx(port, now);
+            }
+            Effect::TryPortTx { port } => self.try_port_tx(port, now),
+            Effect::StartTxCopy { port, frame } => {
+                let bytes = frame.encode().len() as u64 + 4 + 64; // msg + ctrl line
+                let src = self.scratch_addr(bytes);
+                let p = &self.hdrv.ports[port];
+                // CPU copies to uncached/WC windows sustain limited
+                // memory-level parallelism; the MCN-DMA engine pipelines
+                // deeply (the mcn5 gain).
+                let mlp = if self.cfg.dma { 16 } else { 4 };
+                let job = self.host.mem.start_with_mlp(
+                    Transfer::Copy {
+                        src: Pattern::dram(src),
+                        dst: Pattern {
+                            start: p.sram_base,
+                            stride: p.sram_stride,
+                            target: Target::Sram,
+                        },
+                        bytes,
+                    },
+                    HOST_DRV_WAITER,
+                    mlp,
+                    now,
+                );
+                self.hdrv.pending.insert(
+                    job.0,
+                    HostOp::TxCopy {
+                        port,
+                        frame,
+                        started: now,
+                    },
+                );
+            }
+            Effect::PollFire { channel } => {
+                self.hdrv.stats.polls.inc();
+                let core = self.poll_core(channel);
+                let (_, end) = self.host.cpus.run_on(core, now, self.host.cost.hrtimer());
+                self.issue_poll_checks(channel, end);
+                // Pace the next poll by the core, not just the timer: a
+                // busy core takes its timer interrupt late, it does not
+                // accumulate an unbounded backlog of polling work.
+                let next = (now + self.sys.poll_interval).max(end);
+                self.effects.schedule(next, Effect::PollFire { channel });
+            }
+            Effect::HostAlert { channel } => {
+                self.hdrv.stats.alerts.inc();
+                let core = self.poll_core(channel);
+                let (_, end) = self.host.cpus.run_on(core, now, self.host.cost.irq());
+                self.issue_poll_checks(channel, end);
+            }
+            Effect::StartHostRx { port } => self.start_host_rx(port, now),
+            Effect::HostDeliver { ifidx, frame } => {
+                if frame.ethertype == mcn_net::EtherType::Other(crate::dimm::DIRECT_ETHERTYPE) {
+                    // Sec. VII bypass: straight to user space.
+                    let src = self
+                        .dimms
+                        .iter()
+                        .position(|x| x.mac() == frame.src)
+                        .unwrap_or(0);
+                    self.direct_rx.push((now, src, frame.payload));
+                } else {
+                    self.host.stack.on_frame(ifidx, frame, now);
+                    self.host.drain_stack_events();
+                }
+            }
+            Effect::DimmIrq { dimm } => self.dimms[dimm].on_rx_poll(now),
+            Effect::DimmKick { dimm } => self.dimms[dimm].kick_tx(now),
+        }
+    }
+
+    /// One uncached `tx-poll` line read per DIMM on the channel.
+    fn issue_poll_checks(&mut self, channel: u32, at: SimTime) {
+        let core = self.poll_core(channel);
+        for port in self.hdrv.ports_on_channel(channel) {
+            self.host
+                .cpus
+                .run_on(core, at, self.host.cost.poll_check());
+            let p = &self.hdrv.ports[port];
+            let job = self.host.mem.start(
+                Transfer::Single {
+                    pat: Pattern {
+                        start: p.sram_base,
+                        stride: p.sram_stride,
+                        target: Target::Sram,
+                    },
+                    kind: mcn_dram::MemKind::Read,
+                    bytes: 64,
+                },
+                HOST_DRV_WAITER,
+                at,
+            );
+            self.hdrv.pending.insert(job.0, HostOp::PollCheck { port });
+        }
+    }
+
+    fn try_port_tx(&mut self, port: usize, now: SimTime) {
+        let p = &mut self.hdrv.ports[port];
+        if p.tx_busy {
+            return;
+        }
+        let Some(frame) = p.tx_queue.front() else {
+            return;
+        };
+        let need = frame.encode().len() + 4;
+        if self.dimms[p.dimm].sram.free_space(Dir::Rx) < need {
+            self.hdrv.stats.tx_busy_events.inc();
+            return; // retried on RxSpaceFreed
+        }
+        let frame = p.tx_queue.pop_front().expect("checked");
+        p.tx_busy = true;
+        // CPU involvement: driver bookkeeping plus, for CPU-driven copies,
+        // the per-byte memcpy issue work. The channel occupancy itself is
+        // modelled by the copy job; charging the job's *elapsed* time on the
+        // core would double-count wall-clock the core already spent on
+        // other work, so the CPU share is charged up front instead.
+        let work = if self.cfg.dma {
+            self.host.cost.driver_tx() + self.sys.dma_setup
+        } else {
+            self.host.cost.driver_tx() + self.host.cost.sram_write_copy(need)
+        };
+        let core = p.core;
+        let (_, end) = self.host.cpus.run_on(core, now, work);
+        self.effects
+            .schedule(end, Effect::StartTxCopy { port, frame });
+    }
+
+    fn start_host_rx(&mut self, port: usize, now: SimTime) {
+        let p = &mut self.hdrv.ports[port];
+        if p.rx_busy {
+            return;
+        }
+        let used = self.dimms[p.dimm].sram.used(Dir::Tx) as u64;
+        if used == 0 {
+            return;
+        }
+        p.rx_busy = true;
+        let bytes = used + 64; // + control line
+        let sram_base = p.sram_base;
+        let sram_stride = p.sram_stride;
+        let channel = p.channel;
+        let dst = self.scratch_addr(bytes);
+        // memcpy_from_mcn CPU issue work (skipped under MCN-DMA); the copy
+        // job starts once the core gets to it.
+        let start = if self.cfg.dma {
+            now
+        } else {
+            let core = self.poll_core(channel);
+            let (_, end) = self
+                .host
+                .cpus
+                .run_on(core, now, self.host.cost.sram_read_copy(bytes as usize));
+            end
+        };
+        let mlp = if self.cfg.dma { 16 } else { 4 };
+        let job = self.host.mem.start_with_mlp(
+            Transfer::Copy {
+                src: Pattern {
+                    start: sram_base,
+                    stride: sram_stride,
+                    target: Target::Sram,
+                },
+                dst: Pattern::dram(dst),
+                bytes,
+            },
+            HOST_DRV_WAITER,
+            mlp,
+            start,
+        );
+        self.hdrv
+            .pending
+            .insert(job.0, HostOp::RxCopy { port, started: now });
+    }
+
+    fn on_host_job(&mut self, job: JobId, now: SimTime) {
+        match self.hdrv.pending.remove(&job.0) {
+            Some(HostOp::PollCheck { port }) => {
+                let d = self.hdrv.ports[port].dimm;
+                if self.dimms[d].sram.poll_flag(Dir::Tx) && !self.hdrv.ports[port].rx_busy {
+                    self.start_host_rx(port, now);
+                }
+            }
+            Some(HostOp::TxCopy {
+                port,
+                frame,
+                started,
+            }) => {
+                let p = &mut self.hdrv.ports[port];
+                let d = p.dimm;
+                p.tx_busy = false;
+                self.dimms[d]
+                    .sram
+                    .push(Dir::Rx, &frame.encode())
+                    .expect("space was checked; host is the only RX producer");
+                self.hdrv.stats.tx_frames.inc();
+                self.hdrv.stats.driver_tx.record(now.saturating_sub(started));
+                self.effects.schedule(now, Effect::DimmIrq { dimm: d });
+                self.effects.schedule(now, Effect::TryPortTx { port });
+            }
+            Some(HostOp::RxCopy { port, started }) => {
+                let channel = self.hdrv.ports[port].channel;
+                let core = self.poll_core(channel);
+                let d = self.hdrv.ports[port].dimm;
+                let msgs = self.dimms[d].sram.pop_all(Dir::Tx);
+                self.effects.schedule(now, Effect::DimmKick { dimm: d });
+                let host_macs = self.hdrv.host_macs();
+                let dimm_macs: Vec<MacAddr> = self.dimms.iter().map(|x| x.mac()).collect();
+                let sw_csum = !self.cfg.checksum_bypass;
+                for msg in msgs {
+                    let Ok(frame) = EthernetFrame::decode(&msg) else {
+                        continue;
+                    };
+                    self.hdrv.stats.rx_frames.inc();
+                    match classify(&frame, &host_macs, &dimm_macs) {
+                        ForwardClass::Host => {
+                            self.hdrv.stats.f1_host.inc();
+                            self.deliver_to_host(port, frame, core, started, now);
+                        }
+                        ForwardClass::Dimm(j) => {
+                            self.hdrv.stats.f3_forward.inc();
+                            let (_, end) =
+                                self.host
+                                    .cpus
+                                    .run_on(core, now, self.host.cost.driver_rx());
+                            self.effects
+                                .schedule(end, Effect::PortXmit { port: j, frame });
+                        }
+                        ForwardClass::Broadcast => {
+                            self.hdrv.stats.f2_broadcast.inc();
+                            self.deliver_to_host(port, frame.clone(), core, started, now);
+                            for j in 0..self.dimms.len() {
+                                if j != d {
+                                    self.effects.schedule(
+                                        now,
+                                        Effect::PortXmit {
+                                            port: j,
+                                            frame: frame.clone(),
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                        ForwardClass::External => {
+                            // F4: out the conventional NIC (paper
+                            // `dev_queue_xmit`). A rack orchestrator drains
+                            // `external_out`; standalone servers drop.
+                            self.hdrv.stats.f4_external.inc();
+                            self.external_out.push(frame);
+                        }
+                    }
+                    let _ = sw_csum;
+                }
+                self.hdrv.ports[port].rx_busy = false;
+                if self.dimms[d].sram.poll_flag(Dir::Tx) {
+                    self.effects.schedule(now, Effect::StartHostRx { port });
+                }
+            }
+            None => panic!("completion for unknown host driver job {job:?}"),
+        }
+    }
+
+    /// Delivers a frame that arrived from outside (another server's host,
+    /// via the conventional NIC): routed by destination IP — to a local
+    /// DIMM through the normal T1–T3 transmit path, or up the host stack.
+    /// Receive-side NIC costs are the caller's (rack) business.
+    pub fn ingress_external(&mut self, frame: EthernetFrame, now: SimTime) {
+        assert!(now >= self.now, "ingress in the past");
+        self.now = self.now.max(now);
+        let Ok(pkt) = mcn_net::Ipv4Packet::decode(&frame.payload) else {
+            return;
+        };
+        if let Some(port) = self
+            .dimms
+            .iter()
+            .position(|d| d.ip() == pkt.dst)
+        {
+            // Re-address at L2 for the point-to-point hop and transmit.
+            let mut f = frame;
+            f.dst = self.dimms[port].mac();
+            f.src = self.hdrv.ports[port].mac;
+            self.effects.schedule(now, Effect::PortXmit { port, frame: f });
+        } else {
+            // Host-local (or dropped by the stack's own checks): deliver on
+            // the NIC interface it physically arrived on.
+            let ifidx = self.nic_ifidx.unwrap_or(0);
+            let mut f = frame;
+            f.dst = Self::nic_mac(self.server_id);
+            self.effects
+                .schedule(now, Effect::HostDeliver { ifidx, frame: f });
+        }
+        self.advance(now);
+    }
+
+    /// Drains frames the forwarding engine sent to the conventional NIC.
+    pub fn take_external(&mut self) -> Vec<EthernetFrame> {
+        std::mem::take(&mut self.external_out)
+    }
+
+    fn deliver_to_host(
+        &mut self,
+        port: usize,
+        frame: EthernetFrame,
+        core: usize,
+        started: SimTime,
+        now: SimTime,
+    ) {
+        let sw_csum = !self.cfg.checksum_bypass;
+        // Driver work (ring cleanup, sk_buff) stays on the polling core;
+        // protocol processing is steered to the port's core (RPS-style),
+        // sequenced after the driver hands the packet off.
+        let (_, handoff) = self
+            .host
+            .cpus
+            .run_on(core, now, self.host.cost.driver_rx());
+        let proto = rx_protocol_cost(&self.host.cost, &frame, sw_csum);
+        let proto_core = self.hdrv.ports[port].core;
+        let (_, end) = self.host.cpus.run_on(proto_core, handoff, proto);
+        self.hdrv.stats.driver_rx.record(end.saturating_sub(started));
+        // F1 frames may target *any* host-side interface's MAC (an MCN node
+        // reaches all host addresses through its one link); hand the frame
+        // to the interface it names, not the port it arrived on.
+        let ifidx = self
+            .hdrv
+            .ports
+            .iter()
+            .find(|p| p.mac == frame.dst)
+            .map(|p| p.ifidx)
+            .unwrap_or(self.hdrv.ports[port].ifidx);
+        self.effects
+            .schedule(end, Effect::HostDeliver { ifidx, frame });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn mk(n_dimms: usize, level: u32) -> McnSystem {
+        McnSystem::new(&SystemConfig::default(), n_dimms, McnConfig::level(level))
+    }
+
+    #[test]
+    fn builds_with_paper_addressing() {
+        let sys = mk(4, 0);
+        assert_eq!(sys.dimms(), 4);
+        assert_eq!(McnSystem::host_if_ip(0), Ipv4Addr::new(10, 1, 0, 1));
+        assert_eq!(sys.dimm_ip(3), Ipv4Addr::new(10, 4, 0, 2));
+        // DIMMs spread across 2 host channels.
+        assert_eq!(sys.dimm(0).channel(), 0);
+        assert_eq!(sys.dimm(1).channel(), 1);
+        assert_eq!(sys.dimm(2).channel(), 0);
+    }
+
+    #[test]
+    fn host_to_dimm_udp_roundtrip() {
+        // The full path: host app → stack → port driver → memcpy_to_mcn →
+        // SRAM → DIMM IRQ → DIMM driver → DIMM stack → (UDP echo app would
+        // reply; here we check one-way delivery) — all at mcn0.
+        let mut sys = mk(1, 0);
+        let dimm_ip = sys.dimm_ip(0);
+        let us = sys.host.stack.udp_bind(5000).unwrap();
+        let ud = sys.dimm_mut(0).node.stack.udp_bind(6000).unwrap();
+        sys.host
+            .stack
+            .udp_send(us, dimm_ip, 6000, Bytes::from(vec![9u8; 1000]), SimTime::ZERO)
+            .unwrap();
+        sys.run_until(SimTime::from_us(200));
+        let (src, sport, data) = sys
+            .dimm_mut(0)
+            .node
+            .stack
+            .udp_recv(ud)
+            .expect("datagram crossed the memory channel");
+        assert_eq!(src, Ipv4Addr::new(10, 1, 0, 1));
+        assert_eq!(sport, 5000);
+        assert_eq!(data.len(), 1000);
+        assert_eq!(sys.hdrv.stats.tx_frames.get(), 1);
+        assert_eq!(sys.dimm(0).stats.rx_frames.get(), 1);
+    }
+
+    #[test]
+    fn dimm_to_host_udp_with_polling() {
+        let mut sys = mk(1, 0);
+        let uh = sys.host.stack.udp_bind(5000).unwrap();
+        let ud = sys.dimm_mut(0).node.stack.udp_bind(6000).unwrap();
+        let host_ip = McnSystem::host_if_ip(0);
+        sys.dimm_mut(0)
+            .node
+            .stack
+            .udp_send(ud, host_ip, 5000, Bytes::from(vec![3u8; 500]), SimTime::ZERO)
+            .unwrap();
+        sys.run_until(SimTime::from_us(200));
+        let (src, _, data) = sys.host.stack.udp_recv(uh).expect("delivered via polling");
+        assert_eq!(src, sys.dimm_ip(0));
+        assert_eq!(data.len(), 500);
+        assert!(sys.hdrv.stats.polls.get() > 0, "mcn0 must poll");
+        assert_eq!(sys.hdrv.stats.alerts.get(), 0);
+        assert_eq!(sys.hdrv.stats.f1_host.get(), 1);
+    }
+
+    #[test]
+    fn dimm_to_host_with_alert_interrupt() {
+        let mut sys = mk(1, 1);
+        let uh = sys.host.stack.udp_bind(5000).unwrap();
+        let ud = sys.dimm_mut(0).node.stack.udp_bind(6000).unwrap();
+        sys.dimm_mut(0)
+            .node
+            .stack
+            .udp_send(
+                ud,
+                McnSystem::host_if_ip(0),
+                5000,
+                Bytes::from(vec![4u8; 500]),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        sys.run_until(SimTime::from_us(200));
+        assert!(sys.host.stack.udp_recv(uh).is_some());
+        assert_eq!(sys.hdrv.stats.polls.get(), 0, "mcn1 must not poll");
+        assert!(sys.hdrv.stats.alerts.get() > 0);
+    }
+
+    #[test]
+    fn dimm_to_dimm_forwarded_by_host_f3() {
+        let mut sys = mk(2, 1);
+        let u1 = sys.dimm_mut(1).node.stack.udp_bind(7000).unwrap();
+        let u0 = sys.dimm_mut(0).node.stack.udp_bind(6000).unwrap();
+        let dimm1_ip = sys.dimm_ip(1);
+        sys.dimm_mut(0)
+            .node
+            .stack
+            .udp_send(u0, dimm1_ip, 7000, Bytes::from(vec![5u8; 800]), SimTime::ZERO)
+            .unwrap();
+        sys.run_until(SimTime::from_us(500));
+        let (src, _, data) = sys
+            .dimm_mut(1)
+            .node
+            .stack
+            .udp_recv(u1)
+            .expect("mcn-mcn via host forwarding engine");
+        assert_eq!(src, sys.dimm_ip(0));
+        assert_eq!(data.len(), 800);
+        assert_eq!(sys.hdrv.stats.f3_forward.get(), 1);
+        assert_eq!(sys.hdrv.stats.f1_host.get(), 0);
+    }
+
+    #[test]
+    fn host_dimm_ping_rtt_is_microseconds() {
+        let mut sys = mk(1, 0);
+        let dimm_ip = sys.dimm_ip(0);
+        sys.host
+            .stack
+            .send_ping(dimm_ip, 7, 1, Bytes::from(vec![0u8; 56]), SimTime::ZERO)
+            .unwrap();
+        sys.run_until(SimTime::from_ms(1));
+        let (from, ident, seq, len) = sys
+            .host
+            .stack
+            .pop_ping_reply()
+            .expect("echo reply should return");
+        assert_eq!((from, ident, seq, len), (dimm_ip, 7, 1, 56));
+    }
+
+    #[test]
+    fn tcp_across_the_memory_channel() {
+        let mut sys = mk(1, 3);
+        let dimm_ip = sys.dimm_ip(0);
+        let lst = sys.dimm_mut(0).node.stack.tcp_listen(5001).unwrap();
+        let cs = sys
+            .host
+            .stack
+            .tcp_connect(dimm_ip, 5001, SimTime::ZERO)
+            .unwrap();
+        sys.run_until(SimTime::from_ms(1));
+        assert_eq!(
+            sys.host.stack.tcp_state(cs),
+            mcn_net::tcp::TcpState::Established
+        );
+        let ss = sys.dimm_mut(0).node.stack.tcp_accept(lst).unwrap();
+        // Move 256 KB host → DIMM.
+        let data: Vec<u8> = (0..256 * 1024u32).map(|i| (i % 251) as u8).collect();
+        let mut sent = 0;
+        let mut got = Vec::new();
+        let mut buf = vec![0u8; 65536];
+        let mut guard = 0;
+        while got.len() < data.len() {
+            let now = sys.now();
+            if sent < data.len() {
+                sent += sys.host.stack.tcp_send(cs, &data[sent..], now).unwrap();
+            }
+            let next = sys.now() + SimTime::from_us(50);
+            sys.run_until(next);
+            loop {
+                let now = sys.now();
+                let n = sys
+                    .dimm_mut(0)
+                    .node
+                    .stack
+                    .tcp_recv(ss, &mut buf, now)
+                    .unwrap();
+                if n == 0 {
+                    break;
+                }
+                got.extend_from_slice(&buf[..n]);
+            }
+            guard += 1;
+            assert!(guard < 20_000, "transfer stalled at {} bytes", got.len());
+        }
+        assert_eq!(got, data, "byte-exact delivery over the memory channel");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut sys = mk(2, 0);
+            let ud = sys.dimm_mut(0).node.stack.udp_bind(6000).unwrap();
+            let _uh = sys.host.stack.udp_bind(5000).unwrap();
+            sys.dimm_mut(0)
+                .node
+                .stack
+                .udp_send(
+                    ud,
+                    McnSystem::host_if_ip(0),
+                    5000,
+                    Bytes::from(vec![1u8; 1200]),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+            sys.run_until(SimTime::from_us(300));
+            (
+                sys.hdrv.stats.polls.get(),
+                sys.host.cpus.total_busy(),
+                sys.host.mem.total_bytes(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

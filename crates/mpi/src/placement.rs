@@ -1,0 +1,126 @@
+//! Rank placement: spawning a workload's ranks onto an MCN server or an
+//! Ethernet cluster.
+//!
+//! The paper's configurations map to placements:
+//!
+//! * **MCN-enabled server** (Figs. 9–11): some ranks on host cores, some on
+//!   each DIMM's cores (core 0 of each DIMM is reserved for the MCN-side
+//!   driver when the DIMM has more than one core),
+//! * **scale-up server** (Fig. 11 baseline): all ranks on one node over
+//!   loopback,
+//! * **scale-out cluster** (Fig. 10 baseline): ranks spread across nodes.
+
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mcn::{EthernetCluster, McnSystem};
+
+use crate::mpi::MpiRank;
+use crate::workloads::{RankProgram, WorkloadReport, WorkloadSpec};
+
+/// Base port for MPI listeners.
+pub const MPI_BASE_PORT: u16 = 40_000;
+
+/// Disjoint per-rank working-set stride within a node.
+const RANK_MEM_STRIDE: u64 = 128 << 20;
+/// Working sets start here (clear of driver scratch regions).
+const RANK_MEM_BASE: u64 = 8 << 30;
+
+/// Spawns `host_ranks` ranks on the host plus `per_dimm` ranks on every
+/// DIMM of `sys`, all running `spec`. Returns the shared report.
+///
+/// Ranks are numbered host-first. Host ranks round-robin over all host
+/// cores; DIMM ranks use cores `1..` (core 0 runs the MCN-side driver)
+/// unless the DIMM has a single core.
+pub fn spawn_on_mcn(
+    sys: &mut McnSystem,
+    spec: WorkloadSpec,
+    host_ranks: usize,
+    per_dimm: usize,
+    seed: u64,
+) -> Arc<Mutex<WorkloadReport>> {
+    let n_dimms = sys.dimms();
+    let size = host_ranks + n_dimms * per_dimm;
+    assert!(size > 0, "need at least one rank");
+    let mut peers: Vec<Ipv4Addr> = Vec::with_capacity(size);
+    for _ in 0..host_ranks {
+        peers.push(sys.host_rank_ip());
+    }
+    for d in 0..n_dimms {
+        for _ in 0..per_dimm {
+            peers.push(sys.dimm_ip(d));
+        }
+    }
+    let report = WorkloadReport::shared(size);
+    let host_cores = sys.system_config().host_cores;
+    let mcn_cores = sys.system_config().mcn_cores;
+    for r in 0..host_ranks {
+        let mpi = MpiRank::new(r, size, peers.clone(), MPI_BASE_PORT);
+        let prog = RankProgram::new(
+            mpi,
+            spec,
+            RANK_MEM_BASE + r as u64 * RANK_MEM_STRIDE,
+            seed,
+            report.clone(),
+        );
+        sys.spawn_host(Box::new(prog), r % host_cores);
+    }
+    for d in 0..n_dimms {
+        for k in 0..per_dimm {
+            let r = host_ranks + d * per_dimm + k;
+            let mpi = MpiRank::new(r, size, peers.clone(), MPI_BASE_PORT);
+            let prog = RankProgram::new(
+                mpi,
+                spec,
+                RANK_MEM_BASE + k as u64 * RANK_MEM_STRIDE,
+                seed,
+                report.clone(),
+            );
+            let core = if mcn_cores > 1 {
+                1 + k % (mcn_cores - 1)
+            } else {
+                0
+            };
+            sys.spawn_dimm(d, Box::new(prog), core);
+        }
+    }
+    report
+}
+
+/// Spawns `per_node` ranks on each node of `cluster`, all running `spec`.
+/// Ranks are numbered node-major.
+pub fn spawn_on_cluster(
+    cluster: &mut EthernetCluster,
+    spec: WorkloadSpec,
+    per_node: usize,
+    seed: u64,
+) -> Arc<Mutex<WorkloadReport>> {
+    let nodes = cluster.len();
+    let size = nodes * per_node;
+    assert!(size > 0, "need at least one rank");
+    let mut peers = Vec::with_capacity(size);
+    for n in 0..nodes {
+        for _ in 0..per_node {
+            peers.push(EthernetCluster::ip_of(n));
+        }
+    }
+    let report = WorkloadReport::shared(size);
+    for n in 0..nodes {
+        let cores = cluster.node(n).node.cpus.cores();
+        for k in 0..per_node {
+            let r = n * per_node + k;
+            let mpi = MpiRank::new(r, size, peers.clone(), MPI_BASE_PORT);
+            let prog = RankProgram::new(
+                mpi,
+                spec,
+                RANK_MEM_BASE + k as u64 * RANK_MEM_STRIDE,
+                seed,
+                report.clone(),
+            );
+            cluster.spawn(n, Box::new(prog), k % cores);
+        }
+    }
+    report
+}

@@ -1,0 +1,164 @@
+//! ICMP echo (ping) — the paper's round-trip-latency instrument (Fig 8b/c).
+
+use bytes::Bytes;
+
+use crate::checksum;
+
+/// ICMP message kind (echo only; everything else is opaque).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcmpKind {
+    /// Echo request (type 8).
+    EchoRequest,
+    /// Echo reply (type 0).
+    EchoReply,
+}
+
+/// An ICMP echo request/reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IcmpMessage {
+    /// Request or reply.
+    pub kind: IcmpKind,
+    /// Echo identifier (per ping process).
+    pub ident: u16,
+    /// Echo sequence number.
+    pub seq: u16,
+    /// Echo payload (ping's `-s` size).
+    pub payload: Bytes,
+    /// Whether the checksum verified on decode.
+    pub checksum_ok: bool,
+}
+
+/// ICMP parse error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcmpError {
+    /// Buffer shorter than an ICMP echo header.
+    Truncated,
+    /// Not an echo request/reply.
+    Unsupported,
+}
+
+impl std::fmt::Display for IcmpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IcmpError::Truncated => write!(f, "icmp message truncated"),
+            IcmpError::Unsupported => write!(f, "icmp type not echo request/reply"),
+        }
+    }
+}
+
+impl std::error::Error for IcmpError {}
+
+impl IcmpMessage {
+    /// Builds an echo request.
+    pub fn request(ident: u16, seq: u16, payload: Bytes) -> Self {
+        IcmpMessage {
+            kind: IcmpKind::EchoRequest,
+            ident,
+            seq,
+            payload,
+            checksum_ok: true,
+        }
+    }
+
+    /// Builds the reply to a request, echoing its identifiers and payload.
+    pub fn reply_to(req: &IcmpMessage) -> Self {
+        IcmpMessage {
+            kind: IcmpKind::EchoReply,
+            ident: req.ident,
+            seq: req.seq,
+            payload: req.payload.clone(),
+            checksum_ok: true,
+        }
+    }
+
+    /// Serializes with a correct checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.payload.len());
+        out.push(match self.kind {
+            IcmpKind::EchoRequest => 8,
+            IcmpKind::EchoReply => 0,
+        });
+        out.push(0); // code
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&self.ident.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        let c = checksum::checksum(&out, 0);
+        out[2..4].copy_from_slice(&c.to_be_bytes());
+        out
+    }
+
+    /// Parses wire bytes, recording checksum validity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IcmpError`] for short buffers or non-echo types.
+    pub fn decode(data: &[u8]) -> Result<Self, IcmpError> {
+        if data.len() < 8 {
+            return Err(IcmpError::Truncated);
+        }
+        let kind = match data[0] {
+            8 => IcmpKind::EchoRequest,
+            0 => IcmpKind::EchoReply,
+            _ => return Err(IcmpError::Unsupported),
+        };
+        Ok(IcmpMessage {
+            kind,
+            ident: u16::from_be_bytes([data[4], data[5]]),
+            seq: u16::from_be_bytes([data[6], data[7]]),
+            payload: Bytes::copy_from_slice(&data[8..]),
+            checksum_ok: checksum::verify(data, 0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reply_echoes_request() {
+        let req = IcmpMessage::request(7, 3, Bytes::from_static(b"abcdefgh"));
+        let rep = IcmpMessage::reply_to(&req);
+        assert_eq!(rep.kind, IcmpKind::EchoReply);
+        assert_eq!(rep.ident, 7);
+        assert_eq!(rep.seq, 3);
+        assert_eq!(rep.payload, req.payload);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut b = IcmpMessage::request(1, 1, Bytes::from_static(b"xyz")).encode();
+        b[9] ^= 0x10;
+        assert!(!IcmpMessage::decode(&b).unwrap().checksum_ok);
+    }
+
+    #[test]
+    fn unsupported_type_rejected() {
+        let mut b = IcmpMessage::request(1, 1, Bytes::new()).encode();
+        b[0] = 3; // destination unreachable
+        assert_eq!(IcmpMessage::decode(&b), Err(IcmpError::Unsupported));
+        assert_eq!(IcmpMessage::decode(&b[..4]), Err(IcmpError::Truncated));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(
+            ident in any::<u16>(),
+            seq in any::<u16>(),
+            payload in prop::collection::vec(any::<u8>(), 0..9000),
+            reply in any::<bool>(),
+        ) {
+            let m = IcmpMessage {
+                kind: if reply { IcmpKind::EchoReply } else { IcmpKind::EchoRequest },
+                ident,
+                seq,
+                payload: Bytes::from(payload),
+                checksum_ok: true,
+            };
+            let d = IcmpMessage::decode(&m.encode()).unwrap();
+            prop_assert_eq!(d, m);
+        }
+    }
+}

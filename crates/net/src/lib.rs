@@ -1,0 +1,53 @@
+//! # mcn-net — a from-scratch TCP/IPv4 network stack and link models
+//!
+//! Substrate crate for the MCN reproduction. The paper's software
+//! optimisations (Table I, Sec. IV-A) are *network-stack* features —
+//! checksum bypass, 9 KB MTU, TCP segmentation offload — so reproducing
+//! them requires a real stack, not a message-passing abstraction. This
+//! crate implements one at byte level:
+//!
+//! * wire formats with real encode/decode and Internet checksums:
+//!   [`EthernetFrame`], [`Ipv4Packet`] (including fragmentation /
+//!   reassembly), [`IcmpMessage`], [`UdpDatagram`], [`TcpSegment`],
+//! * a TCP state machine ([`tcp`]) with slow start, congestion avoidance,
+//!   fast retransmit, RTO estimation (RFC 6298), delayed ACKs, flow
+//!   control with window scaling, and optional TSO-style large segments,
+//! * a host network stack ([`NetStack`]) with interfaces, static routes
+//!   (the paper's /32 host-side and 0.0.0.0 MCN-side subnet tricks are
+//!   route entries here), a neighbor table instead of ARP, sockets
+//!   (TCP listen/connect/send/recv, UDP, ICMP echo) and timers,
+//! * [`link::Link`] — a serializing, lossy/corrupting point-to-point wire,
+//!   and [`link::Switch`] — a store-and-forward Ethernet switch, used by
+//!   the 10GbE baseline cluster.
+//!
+//! The stack is *passive* and time-explicit: callers hand it frames and
+//! timer expirations with a `now` timestamp and drain outbound frames from
+//! interface queues. CPU cost accounting (per-packet/per-byte protocol
+//! processing time) is deliberately *not* here — the `mcn-node` crate
+//! charges those costs so that the same stack can be driven by hosts, MCN
+//! processors and test harnesses alike.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checksum;
+mod ether;
+mod icmp;
+mod ip;
+pub mod link;
+mod stack;
+pub mod tcp;
+mod tcp_wire;
+mod udp;
+
+pub use ether::{EtherType, EthernetFrame, FrameError, MacAddr, ETHER_HEADER_BYTES};
+pub use icmp::{IcmpError, IcmpKind, IcmpMessage};
+pub use ip::{IpError, IpProto, Ipv4Packet, Reassembler, IPV4_HEADER_BYTES};
+pub use stack::{NetConfig, NetStack, SockId, SocketEvent, StackError};
+pub use tcp_wire::{TcpFlags, TcpSegment, TcpWireError, TCP_HEADER_BYTES};
+pub use udp::{UdpDatagram, UdpError, UDP_HEADER_BYTES};
+
+/// Conventional Ethernet MTU (bytes of IP payload per frame).
+pub const MTU_ETHERNET: usize = 1500;
+/// Jumbo MTU adopted by MCN (Sec. IV-A: "increase the MTU of MCN to 9KB").
+pub const MTU_JUMBO: usize = 9000;

@@ -1,0 +1,312 @@
+//! Physical-layer models: point-to-point links and a store-and-forward
+//! Ethernet switch.
+//!
+//! The 10GbE baseline cluster (paper Table II: "10GbE / 1 µs link latency")
+//! is built from these: NIC → [`Link`] → [`Switch`] → [`Link`] → NIC. Links
+//! serialize frames at line rate, add propagation latency, and can inject
+//! drops and bit corruption — the failure modes whose *absence* on a memory
+//! channel justifies MCN's checksum bypass and jumbo frames.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+#[derive(Debug)]
+struct InFlight {
+    at: SimTime,
+    seq: u64,
+    frame: EthernetFrame,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+use mcn_sim::stats::Counter;
+use mcn_sim::{DetRng, SimTime};
+
+use crate::{EthernetFrame, MacAddr};
+
+/// A unidirectional serializing wire.
+///
+/// Passive component: `send` frames in, ask [`next_arrival`](Self::next_arrival)
+/// when to poll, and collect delivered frames with [`poll`](Self::poll).
+#[derive(Debug)]
+pub struct Link {
+    bytes_per_sec: f64,
+    latency: SimTime,
+    tx_free: SimTime,
+    in_flight: BinaryHeap<Reverse<InFlight>>,
+    seq: u64,
+    drop_rate: f64,
+    corrupt_rate: f64,
+    rng: DetRng,
+    /// Frames accepted for transmission.
+    pub sent: Counter,
+    /// Frames dropped by injected loss.
+    pub dropped: Counter,
+    /// Frames corrupted by injected bit errors.
+    pub corrupted: Counter,
+    /// Bytes accepted for transmission.
+    pub bytes: Counter,
+}
+
+impl Link {
+    /// Creates an ideal link with the given bandwidth (bytes/second) and
+    /// propagation latency.
+    pub fn new(bytes_per_sec: f64, latency: SimTime) -> Self {
+        Link {
+            bytes_per_sec,
+            latency,
+            tx_free: SimTime::ZERO,
+            in_flight: BinaryHeap::new(),
+            seq: 0,
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            rng: DetRng::new(0),
+            sent: Counter::default(),
+            dropped: Counter::default(),
+            corrupted: Counter::default(),
+            bytes: Counter::default(),
+        }
+    }
+
+    /// A 10 Gbit/s Ethernet link with 1 µs latency (paper Table II).
+    pub fn ten_gbe() -> Self {
+        Link::new(1.25e9, SimTime::from_us(1))
+    }
+
+    /// Enables random frame loss and corruption with the given
+    /// probabilities (per frame), seeded deterministically.
+    pub fn with_impairments(mut self, drop_rate: f64, corrupt_rate: f64, seed: u64) -> Self {
+        self.drop_rate = drop_rate;
+        self.corrupt_rate = corrupt_rate;
+        self.rng = DetRng::new(seed);
+        self
+    }
+
+    /// Queues a frame for transmission at `now`. Serialization delay at
+    /// line rate plus propagation latency determines the arrival time;
+    /// back-to-back sends queue behind each other (the transmitter is a
+    /// single serializer).
+    pub fn send(&mut self, frame: EthernetFrame, now: SimTime) {
+        self.sent.inc();
+        self.bytes.add(frame.wire_len() as u64);
+        if self.rng.chance(self.drop_rate) {
+            self.dropped.inc();
+            return;
+        }
+        let frame = if self.rng.chance(self.corrupt_rate) {
+            self.corrupted.inc();
+            self.corrupt(frame)
+        } else {
+            frame
+        };
+        let start = self.tx_free.max(now);
+        let ser = SimTime::for_bytes(frame.wire_len() as u64, self.bytes_per_sec);
+        self.tx_free = start + ser;
+        let arrival = self.tx_free + self.latency;
+        self.seq += 1;
+        self.in_flight.push(Reverse(InFlight {
+            at: arrival,
+            seq: self.seq,
+            frame,
+        }));
+    }
+
+    fn corrupt(&mut self, frame: EthernetFrame) -> EthernetFrame {
+        let mut bytes = frame.encode();
+        if !bytes.is_empty() {
+            let idx = self.rng.next_below(bytes.len() as u64) as usize;
+            let bit = self.rng.next_below(8) as u8;
+            bytes[idx] ^= 1 << bit;
+        }
+        let mut out = EthernetFrame::decode(&bytes).unwrap_or(frame);
+        out.fcs_ok = false; // the receiving MAC's CRC check will fail
+        out
+    }
+
+    /// Earliest pending arrival time.
+    pub fn next_arrival(&self) -> Option<SimTime> {
+        self.in_flight.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Removes and returns all frames that have arrived by `now`.
+    pub fn poll(&mut self, now: SimTime) -> Vec<EthernetFrame> {
+        let mut out = Vec::new();
+        while let Some(Reverse(e)) = self.in_flight.peek() {
+            if e.at > now {
+                break;
+            }
+            let Reverse(e) = self.in_flight.pop().expect("peeked");
+            out.push(e.frame);
+        }
+        out
+    }
+
+    /// Frames queued or in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+/// A learning store-and-forward Ethernet switch fabric (MAC table only; the
+/// queuing/serialization happens on the attached egress [`Link`]s, which
+/// the caller owns).
+///
+/// [`route`](Self::route) decides the egress port(s) for a frame arriving on
+/// `in_port` and learns the source MAC. The fixed `forward_latency` models
+/// lookup + crossbar time and should be added by the caller before handing
+/// the frame to the egress link.
+#[derive(Debug)]
+pub struct Switch {
+    table: HashMap<MacAddr, usize>,
+    ports: usize,
+    /// Store-and-forward + lookup latency to add per hop.
+    pub forward_latency: SimTime,
+    /// Frames forwarded.
+    pub forwarded: Counter,
+    /// Frames flooded (unknown destination or broadcast).
+    pub flooded: Counter,
+}
+
+impl Switch {
+    /// Creates a switch with `ports` ports and a typical 500 ns
+    /// store-and-forward latency.
+    pub fn new(ports: usize) -> Self {
+        Switch {
+            table: HashMap::new(),
+            ports,
+            forward_latency: SimTime::from_ns(500),
+            forwarded: Counter::default(),
+            flooded: Counter::default(),
+        }
+    }
+
+    /// Learns `frame.src` on `in_port` and returns the egress ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_port` is out of range.
+    pub fn route(&mut self, frame: &EthernetFrame, in_port: usize) -> Vec<usize> {
+        assert!(in_port < self.ports, "bad port {in_port}");
+        self.table.insert(frame.src, in_port);
+        if !frame.dst.is_broadcast() {
+            if let Some(&p) = self.table.get(&frame.dst) {
+                if p != in_port {
+                    self.forwarded.inc();
+                    return vec![p];
+                }
+                return Vec::new(); // hairpin: already on the right segment
+            }
+        }
+        self.flooded.inc();
+        (0..self.ports).filter(|&p| p != in_port).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn frame(dst: u16, src: u16, len: usize) -> EthernetFrame {
+        EthernetFrame::ipv4(
+            MacAddr::from_id(dst),
+            MacAddr::from_id(src),
+            Bytes::from(vec![0x5Au8; len]),
+        )
+    }
+
+    #[test]
+    fn serialization_plus_latency() {
+        // 1250-byte wire frame at 10 GbE = 1 us serialization + 1 us latency.
+        let mut l = Link::ten_gbe();
+        l.send(frame(1, 2, 1236), SimTime::ZERO);
+        assert_eq!(l.next_arrival(), Some(SimTime::from_us(2)));
+        assert!(l.poll(SimTime::from_ns(1999)).is_empty());
+        assert_eq!(l.poll(SimTime::from_us(2)).len(), 1);
+    }
+
+    #[test]
+    fn back_to_back_frames_queue_on_serializer() {
+        let mut l = Link::ten_gbe();
+        l.send(frame(1, 2, 1236), SimTime::ZERO); // finishes serializing at 1us
+        l.send(frame(1, 2, 1236), SimTime::ZERO); // starts at 1us
+        let all = l.poll(SimTime::from_us(10));
+        assert_eq!(all.len(), 2);
+        // Second frame arrives at 2us ser + 1us latency = 3us; check ordering
+        // by draining at 2us first.
+        let mut l = Link::ten_gbe();
+        l.send(frame(1, 2, 1236), SimTime::ZERO);
+        l.send(frame(3, 2, 1236), SimTime::ZERO);
+        assert_eq!(l.poll(SimTime::from_us(2)).len(), 1);
+        assert_eq!(l.next_arrival(), Some(SimTime::from_us(3)));
+    }
+
+    #[test]
+    fn drops_and_corruption_are_injected() {
+        let mut l = Link::ten_gbe().with_impairments(0.5, 0.0, 42);
+        for _ in 0..1000 {
+            l.send(frame(1, 2, 100), SimTime::ZERO);
+        }
+        let got = l.poll(SimTime::from_secs(1)).len() as u64;
+        assert_eq!(got + l.dropped.get(), 1000);
+        assert!((300..700).contains(&got), "got {got}");
+
+        let mut l = Link::ten_gbe().with_impairments(0.0, 1.0, 43);
+        let original = frame(1, 2, 64);
+        l.send(original.clone(), SimTime::ZERO);
+        let out = l.poll(SimTime::from_secs(1)).remove(0);
+        assert_ne!(out, original, "frame must differ after corruption");
+    }
+
+    #[test]
+    fn switch_learns_and_forwards() {
+        let mut sw = Switch::new(4);
+        let f_a_to_b = frame(2, 1, 64);
+        // Unknown dst: flood everywhere except ingress.
+        assert_eq!(sw.route(&f_a_to_b, 0), vec![1, 2, 3]);
+        // B replies from port 1: A's MAC is now known.
+        let f_b_to_a = frame(1, 2, 64);
+        assert_eq!(sw.route(&f_b_to_a, 1), vec![0]);
+        // And B is known too.
+        assert_eq!(sw.route(&f_a_to_b, 0), vec![1]);
+        assert_eq!(sw.forwarded.get(), 2);
+    }
+
+    #[test]
+    fn switch_broadcast_floods() {
+        let mut sw = Switch::new(3);
+        let mut f = frame(0, 7, 64);
+        f.dst = MacAddr::BROADCAST;
+        assert_eq!(sw.route(&f, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn hairpin_suppressed() {
+        let mut sw = Switch::new(2);
+        let f1 = frame(9, 8, 64);
+        sw.route(&f1, 0); // learn 8 on port 0
+        let f2 = frame(8, 9, 64);
+        sw.route(&f2, 1); // learn 9 on port 1
+        let f3 = frame(9, 8, 64);
+        // 9 is on port 1.
+        assert_eq!(sw.route(&f3, 0), vec![1]);
+        // A frame to 9 arriving on port 1 itself goes nowhere.
+        assert_eq!(sw.route(&f3, 1), Vec::<usize>::new());
+    }
+}

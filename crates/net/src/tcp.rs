@@ -1,0 +1,1315 @@
+//! TCP connection state machine.
+//!
+//! Implements the subset of TCP that the paper's evaluation exercises, at
+//! real byte/sequence-number granularity:
+//!
+//! * three-way handshake, graceful FIN teardown, RST,
+//! * cumulative ACKs with delayed-ACK policy (ACK every second segment or a
+//!   short timer — the paper measures ~25% ACK overhead in Sec. VII, which
+//!   this reproduces),
+//! * flow control with window scaling (both sides advertise scale 7),
+//! * congestion control: slow start, congestion avoidance, fast retransmit
+//!   on three duplicate ACKs (Reno-style), RTO with exponential backoff and
+//!   RFC 6298 RTT estimation,
+//! * MSS negotiation from the interface MTU (1.5 KB vs the 9 KB jumbo MTU
+//!   of `mcn3`),
+//! * TSO-style large segments: with `tso_max > mss` the connection emits
+//!   segments of up to `tso_max` bytes and leaves slicing to the device —
+//!   the `mcn4` optimisation, where the "device" is the MCN driver and no
+//!   slicing happens at all.
+//!
+//! Not modelled (documented divergences): Nagle's algorithm (iperf and MPI
+//! both disable it), SACK, timestamps, and ECN. The delayed-ACK timer is
+//! 500 µs rather than Linux's 40 ms so that microsecond-scale MCN
+//! request/response traffic is not distorted by a timer three orders of
+//! magnitude above the link RTT.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+
+use mcn_sim::SimTime;
+
+use crate::tcp_wire::{TcpFlags, TcpSegment};
+
+/// Wrapping sequence-number comparison: `a < b`.
+#[inline]
+pub fn seq_lt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) < 0
+}
+
+/// Wrapping sequence-number comparison: `a <= b`.
+#[inline]
+pub fn seq_le(a: u32, b: u32) -> bool {
+    a == b || seq_lt(a, b)
+}
+
+/// Connection-level tuning knobs (derived by the stack from interface
+/// configuration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TcpConfig {
+    /// Maximum segment size (MTU − IP header − TCP header).
+    pub mss: usize,
+    /// Maximum bytes per emitted segment. Equal to `mss` normally; larger
+    /// when TSO is enabled (the device or MCN driver handles the rest).
+    pub tso_max: usize,
+    /// Send buffer capacity in bytes.
+    pub send_buf: usize,
+    /// Receive buffer capacity in bytes.
+    pub recv_buf: usize,
+    /// Initial congestion window in segments (RFC 6928 uses 10).
+    pub init_cwnd_segs: u32,
+    /// Delayed-ACK timeout.
+    pub delack: SimTime,
+    /// Lower bound for the retransmission timeout.
+    pub min_rto: SimTime,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1460,
+            tso_max: 1460,
+            send_buf: 256 * 1024,
+            recv_buf: 256 * 1024,
+            init_cwnd_segs: 10,
+            delack: SimTime::from_us(500),
+            min_rto: SimTime::from_ms(200),
+        }
+    }
+}
+
+/// TCP connection state (RFC 793 names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    /// SYN sent, waiting for SYN-ACK.
+    SynSent,
+    /// SYN received and SYN-ACK sent, waiting for ACK.
+    SynRcvd,
+    /// Data transfer.
+    Established,
+    /// We closed first; FIN sent, not yet acknowledged.
+    FinWait1,
+    /// Our FIN acknowledged; waiting for the peer's FIN.
+    FinWait2,
+    /// Peer closed first; waiting for the application to close.
+    CloseWait,
+    /// Application closed after CloseWait; FIN sent.
+    LastAck,
+    /// Both sides closed simultaneously.
+    Closing,
+    /// Waiting out 2MSL (shortened in simulation).
+    TimeWait,
+    /// Fully closed.
+    Closed,
+}
+
+const WSCALE: u8 = 7;
+
+/// One TCP connection endpoint.
+///
+/// Drive it with [`on_segment`](Self::on_segment), application calls
+/// ([`send`](Self::send) / [`recv`](Self::recv) / [`close`](Self::close))
+/// and [`on_timer`](Self::on_timer); collect outbound segments with
+/// [`take_output`](Self::take_output) after any of those.
+#[derive(Debug)]
+pub struct TcpConn {
+    cfg: TcpConfig,
+    state: TcpState,
+    local: (Ipv4Addr, u16),
+    remote: (Ipv4Addr, u16),
+
+    // --- send side ---
+    snd_una: u32,
+    snd_nxt: u32,
+    /// Sequence number of `snd_buf[0]`.
+    snd_base: u32,
+    snd_buf: VecDeque<u8>,
+    /// Peer's advertised receive window in bytes (already scaled).
+    snd_wnd: u32,
+    peer_wscale: u8,
+    fin_queued: bool,
+    fin_sent: bool,
+
+    // --- receive side ---
+    rcv_nxt: u32,
+    rcv_buf: VecDeque<u8>,
+    ooo: BTreeMap<u32, Bytes>,
+    fin_rcvd: bool,
+
+    // --- congestion control ---
+    cwnd: f64,
+    ssthresh: f64,
+    dupacks: u32,
+
+    // --- timers / RTT ---
+    srtt: Option<f64>,
+    rttvar: f64,
+    rto: SimTime,
+    rto_backoff: u32,
+    rtx_deadline: Option<SimTime>,
+    time_wait_deadline: Option<SimTime>,
+    rtt_probe: Option<(u32, SimTime)>,
+
+    // --- ACK policy ---
+    segs_unacked: u32,
+    ack_deadline: Option<SimTime>,
+    need_ack_now: bool,
+
+    out: Vec<TcpSegment>,
+    stats: TcpStats,
+}
+
+/// Per-connection statistics.
+#[derive(Debug, Default, Clone)]
+pub struct TcpStats {
+    /// Data segments sent (first transmissions).
+    pub data_segs_out: u64,
+    /// Retransmitted segments.
+    pub retransmits: u64,
+    /// Fast retransmits (subset of `retransmits`).
+    pub fast_retransmits: u64,
+    /// RTO firings.
+    pub timeouts: u64,
+    /// Pure ACK segments sent.
+    pub acks_out: u64,
+    /// Payload bytes delivered to the application.
+    pub bytes_delivered: u64,
+    /// Payload bytes accepted from the application.
+    pub bytes_sent: u64,
+}
+
+impl TcpConn {
+    /// Opens a client connection: stages a SYN.
+    pub fn connect(
+        local: (Ipv4Addr, u16),
+        remote: (Ipv4Addr, u16),
+        cfg: TcpConfig,
+        isn: u32,
+        now: SimTime,
+    ) -> Self {
+        let mut c = Self::common(local, remote, cfg, isn, TcpState::SynSent);
+        let seg = TcpSegment {
+            src_port: local.1,
+            dst_port: remote.1,
+            seq: isn,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: c.recv_window_field(),
+            mss: Some(c.cfg.mss as u16),
+            wscale: Some(WSCALE),
+            payload: Bytes::new(),
+            checksum_ok: true,
+        };
+        c.out.push(seg);
+        c.arm_rtx(now);
+        c
+    }
+
+    /// Accepts an incoming SYN on a listening port: stages a SYN-ACK.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `syn` is not a SYN segment.
+    pub fn accept(
+        local: (Ipv4Addr, u16),
+        remote: (Ipv4Addr, u16),
+        cfg: TcpConfig,
+        isn: u32,
+        syn: &TcpSegment,
+        now: SimTime,
+    ) -> Self {
+        assert!(syn.flags.syn && !syn.flags.ack, "accept() requires a SYN");
+        let mut c = Self::common(local, remote, cfg, isn, TcpState::SynRcvd);
+        c.rcv_nxt = syn.seq.wrapping_add(1);
+        c.peer_wscale = syn.wscale.unwrap_or(0);
+        if let Some(mss) = syn.mss {
+            c.cfg.mss = c.cfg.mss.min(mss as usize);
+            c.cfg.tso_max = c.cfg.tso_max.max(c.cfg.mss);
+        }
+        c.cwnd = (c.cfg.init_cwnd_segs as usize * c.cfg.mss) as f64;
+        c.snd_wnd = (syn.window as u32) << c.peer_wscale;
+        let seg = TcpSegment {
+            src_port: local.1,
+            dst_port: remote.1,
+            seq: isn,
+            ack: c.rcv_nxt,
+            flags: TcpFlags::SYN_ACK,
+            window: c.recv_window_field(),
+            mss: Some(c.cfg.mss as u16),
+            wscale: Some(WSCALE),
+            payload: Bytes::new(),
+            checksum_ok: true,
+        };
+        c.out.push(seg);
+        c.arm_rtx(now);
+        c
+    }
+
+    fn common(
+        local: (Ipv4Addr, u16),
+        remote: (Ipv4Addr, u16),
+        cfg: TcpConfig,
+        isn: u32,
+        state: TcpState,
+    ) -> Self {
+        let cwnd = (cfg.init_cwnd_segs as usize * cfg.mss) as f64;
+        TcpConn {
+            state,
+            local,
+            remote,
+            snd_una: isn,
+            snd_nxt: isn.wrapping_add(1), // SYN consumes one
+            snd_base: isn.wrapping_add(1),
+            snd_buf: VecDeque::new(),
+            snd_wnd: cfg.mss as u32, // until the peer tells us
+            peer_wscale: 0,
+            fin_queued: false,
+            fin_sent: false,
+            rcv_nxt: 0,
+            rcv_buf: VecDeque::new(),
+            ooo: BTreeMap::new(),
+            fin_rcvd: false,
+            cwnd,
+            ssthresh: f64::INFINITY,
+            dupacks: 0,
+            srtt: None,
+            rttvar: 0.0,
+            rto: SimTime::from_secs(1),
+            rto_backoff: 0,
+            rtx_deadline: None,
+            time_wait_deadline: None,
+            rtt_probe: None,
+            segs_unacked: 0,
+            ack_deadline: None,
+            need_ack_now: false,
+            out: Vec::new(),
+            stats: TcpStats::default(),
+            cfg,
+        }
+    }
+
+    // ---------- accessors ----------
+
+    /// Current protocol state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// Local (address, port).
+    pub fn local(&self) -> (Ipv4Addr, u16) {
+        self.local
+    }
+
+    /// Remote (address, port).
+    pub fn remote(&self) -> (Ipv4Addr, u16) {
+        self.remote
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &TcpStats {
+        &self.stats
+    }
+
+    /// Bytes the application could read right now.
+    pub fn readable(&self) -> usize {
+        self.rcv_buf.len()
+    }
+
+    /// Bytes of send-buffer space available to the application.
+    pub fn writable(&self) -> usize {
+        if matches!(
+            self.state,
+            TcpState::Established | TcpState::CloseWait | TcpState::SynSent | TcpState::SynRcvd
+        ) && !self.fin_queued
+        {
+            self.cfg.send_buf - self.snd_buf.len()
+        } else {
+            0
+        }
+    }
+
+    /// True once the peer's data stream has ended and everything was read.
+    pub fn at_eof(&self) -> bool {
+        self.fin_rcvd && self.rcv_buf.is_empty()
+    }
+
+    /// Current congestion window in bytes (for instrumentation).
+    pub fn cwnd(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    /// Bytes in flight (sent, not yet cumulatively acknowledged).
+    pub fn in_flight(&self) -> u32 {
+        self.snd_nxt.wrapping_sub(self.snd_una)
+    }
+
+    /// Peer's advertised (scaled) receive window in bytes.
+    pub fn snd_wnd(&self) -> u32 {
+        self.snd_wnd
+    }
+
+    /// Bytes accepted from the app but not yet transmitted.
+    pub fn unsent(&self) -> usize {
+        self.snd_buf
+            .len()
+            .saturating_sub(self.snd_nxt.wrapping_sub(self.snd_base) as usize)
+    }
+
+    fn recv_window_field(&self) -> u16 {
+        let free = self.cfg.recv_buf - self.rcv_buf.len();
+        ((free >> WSCALE) as u32).min(u16::MAX as u32) as u16
+    }
+
+    // ---------- application interface ----------
+
+    /// Accepts up to `data.len()` bytes into the send buffer; returns how
+    /// many were accepted (0 when the buffer is full or the stream is
+    /// closed). Call [`take_output`](Self::take_output) afterwards.
+    pub fn send(&mut self, data: &[u8], now: SimTime) -> usize {
+        let n = data.len().min(self.writable());
+        self.snd_buf.extend(&data[..n]);
+        self.stats.bytes_sent += n as u64;
+        self.emit(now);
+        n
+    }
+
+    /// Reads up to `buf.len()` bytes of in-order received data.
+    pub fn recv(&mut self, buf: &mut [u8], now: SimTime) -> usize {
+        let n = buf.len().min(self.rcv_buf.len());
+        let free_before = self.cfg.recv_buf - self.rcv_buf.len();
+        for b in buf.iter_mut().take(n) {
+            *b = self.rcv_buf.pop_front().expect("len checked");
+        }
+        self.stats.bytes_delivered += n as u64;
+        if n > 0 {
+            // Window-update ACKs: when the advertised window reopens from
+            // (near) zero, or crosses the half-buffer mark, tell the peer —
+            // otherwise a sender blocked on flow control only discovers the
+            // space via its persist probe.
+            let free_after = self.cfg.recv_buf - self.rcv_buf.len();
+            if (free_before < self.cfg.mss && free_after >= self.cfg.mss)
+                || (free_before * 2 < self.cfg.recv_buf && free_after * 2 >= self.cfg.recv_buf)
+            {
+                self.need_ack_now = true;
+            }
+            self.emit(now);
+        }
+        n
+    }
+
+    /// Closes the send direction (queues a FIN after pending data).
+    pub fn close(&mut self, now: SimTime) {
+        if !self.fin_queued
+            && matches!(
+                self.state,
+                TcpState::Established | TcpState::CloseWait | TcpState::SynRcvd
+            )
+        {
+            self.fin_queued = true;
+            self.emit(now);
+        }
+    }
+
+    /// Hard reset: stages an RST and closes immediately.
+    pub fn abort(&mut self) {
+        if self.state != TcpState::Closed {
+            self.out.push(TcpSegment {
+                src_port: self.local.1,
+                dst_port: self.remote.1,
+                seq: self.snd_nxt,
+                ack: self.rcv_nxt,
+                flags: TcpFlags::RST,
+                window: 0,
+                mss: None,
+                wscale: None,
+                payload: Bytes::new(),
+                checksum_ok: true,
+            });
+            self.state = TcpState::Closed;
+        }
+    }
+
+    /// Drains staged outbound segments.
+    pub fn take_output(&mut self) -> Vec<TcpSegment> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// True if there are staged outbound segments.
+    pub fn has_output(&self) -> bool {
+        !self.out.is_empty()
+    }
+
+    // ---------- timers ----------
+
+    /// The earliest pending timer deadline, if any.
+    pub fn next_timer(&self) -> Option<SimTime> {
+        [
+            self.rtx_deadline,
+            self.ack_deadline,
+            self.time_wait_deadline,
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    /// Fires any timers whose deadline is `<= now`.
+    pub fn on_timer(&mut self, now: SimTime) {
+        if self.time_wait_deadline.is_some_and(|d| d <= now) {
+            self.time_wait_deadline = None;
+            self.state = TcpState::Closed;
+        }
+        if self.ack_deadline.is_some_and(|d| d <= now) {
+            self.ack_deadline = None;
+            self.need_ack_now = true;
+        }
+        if self.rtx_deadline.is_some_and(|d| d <= now) {
+            self.rtx_deadline = None;
+            self.on_rto(now);
+        }
+        self.emit(now);
+    }
+
+    fn on_rto(&mut self, now: SimTime) {
+        if self.state == TcpState::Closed {
+            return;
+        }
+        if std::env::var("MCN_TCP_DEBUG").is_ok() {
+            eprintln!(
+                "RTO at {now}: {:?}->{:?} state={:?} cwnd={} inflight={} snd_wnd={} unsent={} una={} nxt={}",
+                self.local, self.remote, self.state, self.cwnd as u64,
+                self.in_flight(), self.snd_wnd, self.unsent(), self.snd_una, self.snd_nxt
+            );
+        }
+        self.stats.timeouts += 1;
+        // Multiplicative decrease + slow-start restart (classic Reno RTO).
+        let inflight = self.in_flight() as f64;
+        self.ssthresh = (inflight / 2.0).max(2.0 * self.cfg.mss as f64);
+        self.cwnd = self.cfg.mss as f64;
+        self.dupacks = 0;
+        self.rto_backoff = (self.rto_backoff + 1).min(10);
+        self.rtt_probe = None; // Karn's algorithm: no samples from rtx
+        self.retransmit_head(now);
+        self.arm_rtx(now);
+    }
+
+    /// Retransmits the earliest unacknowledged segment.
+    fn retransmit_head(&mut self, _now: SimTime) {
+        self.stats.retransmits += 1;
+        match self.state {
+            TcpState::SynSent => {
+                self.out.push(TcpSegment {
+                    src_port: self.local.1,
+                    dst_port: self.remote.1,
+                    seq: self.snd_una,
+                    ack: 0,
+                    flags: TcpFlags::SYN,
+                    window: self.recv_window_field(),
+                    mss: Some(self.cfg.mss as u16),
+                    wscale: Some(WSCALE),
+                    payload: Bytes::new(),
+                    checksum_ok: true,
+                });
+                return;
+            }
+            TcpState::SynRcvd => {
+                self.out.push(TcpSegment {
+                    src_port: self.local.1,
+                    dst_port: self.remote.1,
+                    seq: self.snd_una,
+                    ack: self.rcv_nxt,
+                    flags: TcpFlags::SYN_ACK,
+                    window: self.recv_window_field(),
+                    mss: Some(self.cfg.mss as u16),
+                    wscale: Some(WSCALE),
+                    payload: Bytes::new(),
+                    checksum_ok: true,
+                });
+                return;
+            }
+            _ => {}
+        }
+        // Data (or FIN) retransmission from snd_una.
+        let off = self.snd_una.wrapping_sub(self.snd_base) as usize;
+        let avail = self.snd_buf.len().saturating_sub(off);
+        let len = avail.min(self.cfg.mss);
+        if len > 0 {
+            let payload: Bytes = self
+                .snd_buf
+                .iter()
+                .skip(off)
+                .take(len)
+                .copied()
+                .collect::<Vec<u8>>()
+                .into();
+            let last_of_fin =
+                self.fin_sent && off + len == self.snd_buf.len();
+            self.out.push(TcpSegment {
+                src_port: self.local.1,
+                dst_port: self.remote.1,
+                seq: self.snd_una,
+                ack: self.rcv_nxt,
+                flags: if last_of_fin {
+                    TcpFlags::FIN_ACK
+                } else {
+                    TcpFlags::ACK
+                },
+                window: self.recv_window_field(),
+                mss: None,
+                wscale: None,
+                payload,
+                checksum_ok: true,
+            });
+        } else if self.fin_sent {
+            self.out.push(TcpSegment {
+                src_port: self.local.1,
+                dst_port: self.remote.1,
+                seq: self.snd_una,
+                ack: self.rcv_nxt,
+                flags: TcpFlags::FIN_ACK,
+                window: self.recv_window_field(),
+                mss: None,
+                wscale: None,
+                payload: Bytes::new(),
+                checksum_ok: true,
+            });
+        }
+        self.need_ack_now = false;
+        self.segs_unacked = 0;
+        self.ack_deadline = None;
+    }
+
+    fn arm_rtx(&mut self, now: SimTime) {
+        let backoff = SimTime::from_ps(
+            self.rto
+                .as_ps()
+                .saturating_mul(1u64 << self.rto_backoff.min(10)),
+        );
+        let rto = backoff.max(self.cfg.min_rto).min(SimTime::from_secs(60));
+        self.rtx_deadline = Some(now + rto);
+    }
+
+    fn update_rtt(&mut self, sample: f64) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2.0;
+            }
+            Some(s) => {
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (s - sample).abs();
+                self.srtt = Some(0.875 * s + 0.125 * sample);
+            }
+        }
+        let rto = self.srtt.expect("set") + 4.0 * self.rttvar;
+        self.rto = SimTime::from_secs_f64(rto).max(self.cfg.min_rto);
+        self.rto_backoff = 0;
+    }
+
+    // ---------- segment input ----------
+
+    /// Processes an incoming segment addressed to this connection.
+    /// Checksum policy is the caller's: segments passed here are trusted.
+    pub fn on_segment(&mut self, seg: &TcpSegment, now: SimTime) {
+        if seg.flags.rst {
+            self.state = TcpState::Closed;
+            return;
+        }
+        match self.state {
+            TcpState::SynSent => {
+                if seg.flags.syn && seg.flags.ack && seg.ack == self.snd_nxt {
+                    self.rcv_nxt = seg.seq.wrapping_add(1);
+                    self.snd_una = seg.ack;
+                    self.peer_wscale = seg.wscale.unwrap_or(0);
+                    if let Some(mss) = seg.mss {
+                        self.cfg.mss = self.cfg.mss.min(mss as usize);
+                        self.cfg.tso_max = self.cfg.tso_max.max(self.cfg.mss);
+                    }
+                    self.cwnd = (self.cfg.init_cwnd_segs as usize * self.cfg.mss) as f64;
+                    self.snd_wnd = (seg.window as u32) << self.peer_wscale;
+                    self.state = TcpState::Established;
+                    self.rtx_deadline = None;
+                    self.need_ack_now = true;
+                }
+            }
+            TcpState::SynRcvd => {
+                if seg.flags.ack && seg.ack == self.snd_nxt {
+                    self.snd_una = seg.ack;
+                    self.snd_wnd = (seg.window as u32) << self.peer_wscale;
+                    self.state = TcpState::Established;
+                    self.rtx_deadline = None;
+                    // Fall through to data processing: the ACK may carry data.
+                    self.process_established(seg, now);
+                }
+            }
+            TcpState::Closed => {}
+            _ => self.process_established(seg, now),
+        }
+        self.emit(now);
+    }
+
+    fn process_established(&mut self, seg: &TcpSegment, now: SimTime) {
+        // --- ACK side ---
+        if seg.flags.ack {
+            let ack = seg.ack;
+            if seq_lt(self.snd_una, ack) && seq_le(ack, self.snd_nxt) {
+                let acked = ack.wrapping_sub(self.snd_una);
+                self.advance_una(ack);
+                self.dupacks = 0;
+                if let Some((probe_seq, sent_at)) = self.rtt_probe {
+                    if seq_lt(probe_seq, ack) {
+                        self.update_rtt((now - sent_at).as_secs_f64());
+                        self.rtt_probe = None;
+                    }
+                }
+                // cwnd growth.
+                if self.cwnd < self.ssthresh {
+                    self.cwnd += (acked as f64).min(self.cfg.mss as f64);
+                } else {
+                    self.cwnd +=
+                        (self.cfg.mss as f64 * self.cfg.mss as f64 / self.cwnd).max(1.0);
+                }
+                // Restart or clear the retransmission timer.
+                if self.in_flight() > 0 {
+                    self.arm_rtx(now);
+                } else {
+                    self.rtx_deadline = None;
+                }
+                self.on_fin_acked();
+            } else if ack == self.snd_una
+                && self.in_flight() > 0
+                && seg.payload.is_empty()
+                && !seg.flags.fin
+            {
+                self.dupacks += 1;
+                if self.dupacks == 3 {
+                    self.stats.fast_retransmits += 1;
+                    let inflight = self.in_flight() as f64;
+                    self.ssthresh = (inflight / 2.0).max(2.0 * self.cfg.mss as f64);
+                    self.cwnd = self.ssthresh;
+                    self.retransmit_head(now);
+                    self.arm_rtx(now);
+                }
+            }
+            self.snd_wnd = (seg.window as u32) << self.peer_wscale;
+        }
+
+        // --- data side ---
+        if !seg.payload.is_empty() {
+            self.ingest_data(seg.seq, seg.payload.clone(), now);
+        }
+
+        // --- FIN side ---
+        if seg.flags.fin {
+            let fin_seq = seg.seq.wrapping_add(seg.payload.len() as u32);
+            if fin_seq == self.rcv_nxt && !self.fin_rcvd {
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+                self.fin_rcvd = true;
+                self.need_ack_now = true;
+                self.state = match self.state {
+                    TcpState::Established => TcpState::CloseWait,
+                    TcpState::FinWait1 => TcpState::Closing,
+                    TcpState::FinWait2 => {
+                        self.enter_time_wait(now);
+                        TcpState::TimeWait
+                    }
+                    s => s,
+                };
+            } else if seq_lt(fin_seq, self.rcv_nxt) {
+                self.need_ack_now = true; // retransmitted FIN
+            }
+        }
+    }
+
+    fn advance_una(&mut self, ack: u32) {
+        // Bytes (not SYN/FIN flags) covered by this ACK relative to the
+        // send-buffer base.
+        let new_off = ack.wrapping_sub(self.snd_base) as usize;
+        let buffered = self.snd_buf.len();
+        let drop = new_off.min(buffered);
+        self.snd_buf.drain(..drop);
+        self.snd_base = self.snd_base.wrapping_add(drop as u32);
+        self.snd_una = ack;
+    }
+
+    fn on_fin_acked(&mut self) {
+        if self.fin_sent && self.snd_una == self.snd_nxt {
+            self.state = match self.state {
+                TcpState::FinWait1 => TcpState::FinWait2,
+                TcpState::Closing => {
+                    self.time_wait_deadline = Some(SimTime::MAX); // fixed below
+                    TcpState::TimeWait
+                }
+                TcpState::LastAck => TcpState::Closed,
+                s => s,
+            };
+        }
+    }
+
+    fn enter_time_wait(&mut self, now: SimTime) {
+        // 2MSL shortened to 1 ms: connections in this simulation are never
+        // reused with colliding 4-tuples inside a real 2MSL.
+        self.time_wait_deadline = Some(now + SimTime::from_ms(1));
+    }
+
+    fn ingest_data(&mut self, seq: u32, mut payload: Bytes, _now: SimTime) {
+        // Trim anything we already have.
+        if seq_lt(seq, self.rcv_nxt) {
+            let dup = self.rcv_nxt.wrapping_sub(seq) as usize;
+            if dup >= payload.len() {
+                self.need_ack_now = true; // full duplicate: re-ACK
+                return;
+            }
+            payload = payload.slice(dup..);
+        }
+        let seq = if seq_lt(seq, self.rcv_nxt) {
+            self.rcv_nxt
+        } else {
+            seq
+        };
+
+        if seq == self.rcv_nxt {
+            let free = self.cfg.recv_buf - self.rcv_buf.len();
+            let take = payload.len().min(free);
+            self.rcv_buf.extend(&payload[..take]);
+            self.rcv_nxt = self.rcv_nxt.wrapping_add(take as u32);
+            // Drain any now-contiguous out-of-order data.
+            while let Some((&oseq, _)) = self.ooo.first_key_value() {
+                if seq_lt(self.rcv_nxt, oseq) {
+                    break;
+                }
+                let (oseq, data) = self.ooo.pop_first().expect("checked");
+                let skip = self.rcv_nxt.wrapping_sub(oseq) as usize;
+                if skip < data.len() {
+                    let free = self.cfg.recv_buf - self.rcv_buf.len();
+                    let take = (data.len() - skip).min(free);
+                    self.rcv_buf.extend(&data[skip..skip + take]);
+                    self.rcv_nxt = self.rcv_nxt.wrapping_add(take as u32);
+                }
+            }
+            self.segs_unacked += 1;
+            if self.segs_unacked >= 2 {
+                self.need_ack_now = true;
+            } else if self.ack_deadline.is_none() {
+                self.ack_deadline = Some(_now + self.cfg.delack);
+            }
+        } else {
+            // Out of order: stash and send an immediate duplicate ACK so the
+            // sender's fast-retransmit counter advances.
+            self.ooo.entry(seq).or_insert(payload);
+            self.need_ack_now = true;
+        }
+    }
+
+    // ---------- output ----------
+
+    /// Builds and stages everything currently allowed to leave: new data up
+    /// to min(cwnd, peer window), a FIN when queued, and pure ACKs demanded
+    /// by the ACK policy.
+    fn emit(&mut self, now: SimTime) {
+        if matches!(self.state, TcpState::SynSent | TcpState::Closed) {
+            return;
+        }
+        let mut sent_any = false;
+        if matches!(
+            self.state,
+            TcpState::Established | TcpState::CloseWait | TcpState::FinWait1 | TcpState::LastAck
+        ) {
+            let window = (self.cwnd as u32).min(self.snd_wnd);
+            loop {
+                let in_flight = self.in_flight();
+                if in_flight >= window {
+                    break;
+                }
+                let budget = (window - in_flight) as usize;
+                let off = self.snd_nxt.wrapping_sub(self.snd_base) as usize;
+                let unsent = self.snd_buf.len().saturating_sub(off);
+                let len = unsent.min(budget).min(self.cfg.tso_max);
+                if len == 0 {
+                    break;
+                }
+                let payload: Bytes = self
+                    .snd_buf
+                    .iter()
+                    .skip(off)
+                    .take(len)
+                    .copied()
+                    .collect::<Vec<u8>>()
+                    .into();
+                let is_last = off + len == self.snd_buf.len();
+                let fin_now = self.fin_queued && is_last && !self.fin_sent;
+                let seq = self.snd_nxt;
+                self.out.push(TcpSegment {
+                    src_port: self.local.1,
+                    dst_port: self.remote.1,
+                    seq,
+                    ack: self.rcv_nxt,
+                    flags: TcpFlags {
+                        ack: true,
+                        fin: fin_now,
+                        psh: is_last,
+                        syn: false,
+                        rst: false,
+                    },
+                    window: self.recv_window_field(),
+                    mss: None,
+                    wscale: None,
+                    payload,
+                    checksum_ok: true,
+                });
+                self.snd_nxt = self.snd_nxt.wrapping_add(len as u32 + fin_now as u32);
+                if fin_now {
+                    self.mark_fin_sent();
+                }
+                self.stats.data_segs_out += 1;
+                if self.rtt_probe.is_none() {
+                    self.rtt_probe = Some((seq, now));
+                }
+                sent_any = true;
+            }
+            // FIN with no data left to send.
+            if self.fin_queued && !self.fin_sent {
+                let off = self.snd_nxt.wrapping_sub(self.snd_base) as usize;
+                if off >= self.snd_buf.len() {
+                    self.out.push(TcpSegment {
+                        src_port: self.local.1,
+                        dst_port: self.remote.1,
+                        seq: self.snd_nxt,
+                        ack: self.rcv_nxt,
+                        flags: TcpFlags::FIN_ACK,
+                        window: self.recv_window_field(),
+                        mss: None,
+                        wscale: None,
+                        payload: Bytes::new(),
+                        checksum_ok: true,
+                    });
+                    self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                    self.mark_fin_sent();
+                    sent_any = true;
+                }
+            }
+            if sent_any {
+                self.need_ack_now = false;
+                self.segs_unacked = 0;
+                self.ack_deadline = None;
+                if self.rtx_deadline.is_none() {
+                    self.arm_rtx(now);
+                }
+            }
+            // Persist behaviour: the peer advertised a zero window and we
+            // still have data (or a FIN) to move — keep the retransmission
+            // timer armed; its firing acts as the window probe.
+            if self.snd_wnd == 0
+                && self.in_flight() == 0
+                && self.rtx_deadline.is_none()
+                && (self.snd_nxt.wrapping_sub(self.snd_base) as usize) < self.snd_buf.len()
+            {
+                self.arm_rtx(now);
+            }
+        }
+        if self.need_ack_now && !sent_any {
+            self.out.push(TcpSegment {
+                src_port: self.local.1,
+                dst_port: self.remote.1,
+                seq: self.snd_nxt,
+                ack: self.rcv_nxt,
+                flags: TcpFlags::ACK,
+                window: self.recv_window_field(),
+                mss: None,
+                wscale: None,
+                payload: Bytes::new(),
+                checksum_ok: true,
+            });
+            self.stats.acks_out += 1;
+            self.need_ack_now = false;
+            self.segs_unacked = 0;
+            self.ack_deadline = None;
+        }
+    }
+
+    fn mark_fin_sent(&mut self) {
+        self.fin_sent = true;
+        self.state = match self.state {
+            TcpState::Established => TcpState::FinWait1,
+            TcpState::CloseWait => TcpState::LastAck,
+            s => s,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcn_sim::DetRng;
+
+    fn addr(n: u8) -> (Ipv4Addr, u16) {
+        (Ipv4Addr::new(10, 0, 0, n), 1000 + n as u16)
+    }
+
+    /// Shuttles segments between two connections over an ideal or lossy
+    /// wire with the given one-way latency, firing timers as needed.
+    struct Harness {
+        a: TcpConn,
+        b: TcpConn,
+        now: SimTime,
+        latency: SimTime,
+        drop_rate: f64,
+        rng: DetRng,
+        /// (arrival time, seq, from_a, segment); a sorted-scan Vec is plenty
+        /// for test-sized traffic.
+        in_flight: Vec<(SimTime, u64, bool, TcpSegment)>,
+        seq: u64,
+    }
+
+    impl Harness {
+        fn new(cfg: TcpConfig, latency: SimTime, drop_rate: f64) -> Self {
+            let now = SimTime::ZERO;
+            let a = TcpConn::connect(addr(1), addr(2), cfg.clone(), 1000, now);
+            Harness {
+                a,
+                b: TcpConn::common(addr(2), addr(1), cfg, 0, TcpState::Closed), // replaced on SYN
+                now,
+                latency,
+                drop_rate,
+                rng: DetRng::new(7),
+                in_flight: Default::default(),
+                seq: 0,
+            }
+        }
+
+        fn pump(&mut self) {
+            // Collect outputs from both sides.
+            for (from_a, out) in [(true, self.a.take_output()), (false, self.b.take_output())] {
+                for seg in out {
+                    if self.rng.chance(self.drop_rate) {
+                        continue; // lost on the wire
+                    }
+                    self.seq += 1;
+                    self.in_flight
+                        .push((self.now + self.latency, self.seq, from_a, seg));
+                }
+            }
+        }
+
+        /// Advances to the next event (delivery or timer) and processes it.
+        fn step(&mut self) -> bool {
+            self.pump();
+            let next_del = self.in_flight.iter().map(|(t, ..)| *t).min();
+            let next_tmr = [self.a.next_timer(), self.b.next_timer()]
+                .into_iter()
+                .flatten()
+                .min();
+            let t = match (next_del, next_tmr) {
+                (Some(d), Some(m)) => d.min(m),
+                (Some(d), None) => d,
+                (None, Some(m)) => m,
+                (None, None) => return false,
+            };
+            self.now = t;
+            if next_del == Some(t) {
+                let idx = self
+                    .in_flight
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (at, s, ..))| (*at, *s))
+                    .map(|(i, _)| i)
+                    .expect("checked");
+                let (_, _, from_a, seg) = self.in_flight.remove(idx);
+                // First SYN creates the acceptor.
+                if seg.flags.syn && !seg.flags.ack && self.b.state == TcpState::Closed {
+                    self.b = TcpConn::accept(addr(2), addr(1), self.a.cfg.clone(), 9000, &seg, t);
+                } else if from_a {
+                    self.b.on_segment(&seg, t);
+                } else {
+                    self.a.on_segment(&seg, t);
+                }
+            } else {
+                self.a.on_timer(t);
+                self.b.on_timer(t);
+            }
+            self.pump();
+            true
+        }
+
+        fn run_until<F: Fn(&Harness) -> bool>(&mut self, pred: F, max_steps: usize) {
+            for _ in 0..max_steps {
+                if pred(self) {
+                    return;
+                }
+                if !self.step() {
+                    break;
+                }
+            }
+            assert!(pred(self), "condition not reached within {max_steps} steps");
+        }
+    }
+
+    #[test]
+    fn handshake_establishes_both_sides() {
+        let mut h = Harness::new(TcpConfig::default(), SimTime::from_us(10), 0.0);
+        h.run_until(
+            |h| h.a.state() == TcpState::Established && h.b.state() == TcpState::Established,
+            50,
+        );
+    }
+
+    #[test]
+    fn bulk_transfer_delivers_exact_bytes() {
+        let mut h = Harness::new(TcpConfig::default(), SimTime::from_us(10), 0.0);
+        h.run_until(|h| h.a.state() == TcpState::Established, 50);
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let mut sent = 0;
+        let mut received = Vec::new();
+        let mut buf = [0u8; 4096];
+        while received.len() < data.len() {
+            if sent < data.len() {
+                sent += h.a.send(&data[sent..], h.now);
+            }
+            let n = h.b.recv(&mut buf, h.now);
+            received.extend_from_slice(&buf[..n]);
+            if n == 0 && !h.step() {
+                break;
+            }
+        }
+        assert_eq!(received, data);
+        assert_eq!(h.a.stats().retransmits, 0);
+    }
+
+    #[test]
+    fn transfer_survives_10_percent_loss() {
+        let mut h = Harness::new(TcpConfig::default(), SimTime::from_us(50), 0.10);
+        h.run_until(|h| h.a.state() == TcpState::Established, 2000);
+        let data: Vec<u8> = (0..50_000u32).map(|i| (i * 7 % 253) as u8).collect();
+        let mut sent = 0;
+        let mut received = Vec::new();
+        let mut buf = [0u8; 4096];
+        for _ in 0..200_000 {
+            if sent < data.len() {
+                sent += h.a.send(&data[sent..], h.now);
+            }
+            let n = h.b.recv(&mut buf, h.now);
+            received.extend_from_slice(&buf[..n]);
+            if received.len() == data.len() {
+                break;
+            }
+            if n == 0 && !h.step() {
+                break;
+            }
+        }
+        assert_eq!(received.len(), data.len(), "all data must arrive");
+        assert_eq!(received, data, "data must arrive uncorrupted and in order");
+        assert!(
+            h.a.stats().retransmits > 0,
+            "loss must have caused retransmissions"
+        );
+    }
+
+    #[test]
+    fn fast_retransmit_triggers_before_rto() {
+        // Drop exactly one data segment; the following segments generate
+        // dupacks and recovery must come from fast retransmit, well before
+        // the 200 ms min RTO.
+        let mut h = Harness::new(TcpConfig::default(), SimTime::from_us(10), 0.0);
+        h.run_until(|h| h.a.state() == TcpState::Established, 50);
+        let data = vec![0xABu8; 40_000];
+        h.a.send(&data, h.now);
+        // Drop the first data segment manually.
+        h.pump();
+        let mut dropped = false;
+        h.in_flight.sort_by_key(|(t, s, ..)| (*t, *s));
+        h.in_flight.retain(|(_, _, fa, seg)| {
+            if !dropped && *fa && !seg.payload.is_empty() {
+                dropped = true;
+                false
+            } else {
+                true
+            }
+        });
+        assert!(dropped);
+        let mut buf = [0u8; 65536];
+        let mut got = 0;
+        for _ in 0..10_000 {
+            got += h.b.recv(&mut buf, h.now);
+            if got == data.len() {
+                break;
+            }
+            if !h.step() {
+                break;
+            }
+        }
+        assert_eq!(got, data.len());
+        assert!(h.a.stats().fast_retransmits >= 1);
+        assert!(
+            h.now < SimTime::from_ms(100),
+            "recovery should beat the RTO; took {}",
+            h.now
+        );
+    }
+
+    #[test]
+    fn graceful_close_reaches_closed_or_timewait() {
+        let mut h = Harness::new(TcpConfig::default(), SimTime::from_us(10), 0.0);
+        h.run_until(|h| h.a.state() == TcpState::Established, 50);
+        h.a.close(h.now);
+        h.run_until(|h| h.b.at_eof(), 100);
+        h.b.close(h.now);
+        h.run_until(
+            |h| {
+                matches!(h.a.state(), TcpState::TimeWait | TcpState::Closed)
+                    && h.b.state() == TcpState::Closed
+            },
+            200,
+        );
+        // TimeWait expires.
+        h.run_until(|h| h.a.state() == TcpState::Closed, 50);
+    }
+
+    #[test]
+    fn rst_aborts_peer() {
+        let mut h = Harness::new(TcpConfig::default(), SimTime::from_us(10), 0.0);
+        h.run_until(|h| h.a.state() == TcpState::Established, 50);
+        h.a.abort();
+        h.run_until(|h| h.b.state() == TcpState::Closed, 20);
+        assert_eq!(h.a.state(), TcpState::Closed);
+    }
+
+    #[test]
+    fn cwnd_grows_during_slow_start() {
+        let cfg = TcpConfig::default();
+        let mut h = Harness::new(cfg.clone(), SimTime::from_us(100), 0.0);
+        h.run_until(|h| h.a.state() == TcpState::Established, 50);
+        let initial = h.a.cwnd();
+        let data = vec![0u8; 200_000];
+        let mut sent = 0;
+        let mut buf = [0u8; 65536];
+        let mut got = 0;
+        while got < data.len() {
+            if sent < data.len() {
+                sent += h.a.send(&data[sent..], h.now);
+            }
+            got += h.b.recv(&mut buf, h.now);
+            if !h.step() {
+                break;
+            }
+        }
+        assert!(
+            h.a.cwnd() > 2 * initial,
+            "cwnd should have grown: {} -> {}",
+            initial,
+            h.a.cwnd()
+        );
+    }
+
+    #[test]
+    fn delayed_ack_batches_acks() {
+        // With delayed ACKs, pure-ACK count should be roughly half the data
+        // segment count for a one-way bulk stream.
+        let mut h = Harness::new(TcpConfig::default(), SimTime::from_us(10), 0.0);
+        h.run_until(|h| h.a.state() == TcpState::Established, 50);
+        let data = vec![1u8; 150_000];
+        let mut sent = 0;
+        let mut buf = [0u8; 65536];
+        let mut got = 0;
+        while got < data.len() {
+            if sent < data.len() {
+                sent += h.a.send(&data[sent..], h.now);
+            }
+            got += h.b.recv(&mut buf, h.now);
+            if !h.step() {
+                break;
+            }
+        }
+        let data_segs = h.a.stats().data_segs_out;
+        let acks = h.b.stats().acks_out;
+        assert!(
+            acks as f64 <= 0.75 * data_segs as f64,
+            "delayed ACKs should batch: {acks} acks for {data_segs} segments"
+        );
+        assert!(acks > 0);
+    }
+
+    #[test]
+    fn tso_emits_large_segments() {
+        let mut cfg = TcpConfig::default();
+        cfg.tso_max = 64 * 1024;
+        let mut h = Harness::new(cfg, SimTime::from_us(10), 0.0);
+        h.run_until(|h| h.a.state() == TcpState::Established, 50);
+        // Pre-grow cwnd by transferring some data first.
+        let data = vec![2u8; 400_000];
+        let mut sent = 0;
+        let mut buf = [0u8; 65536];
+        let mut got = 0;
+        let mut max_seg = 0usize;
+        while got < data.len() {
+            if sent < data.len() {
+                sent += h.a.send(&data[sent..], h.now);
+            }
+            // Observe staged segments before the harness moves them.
+            for (_, _, fa, seg) in h.in_flight.iter() {
+                if *fa {
+                    max_seg = max_seg.max(seg.payload.len());
+                }
+            }
+            got += h.b.recv(&mut buf, h.now);
+            if !h.step() {
+                break;
+            }
+        }
+        assert!(
+            max_seg > 1460,
+            "TSO should emit super-MSS segments, saw max {max_seg}"
+        );
+        assert_eq!(got, data.len());
+    }
+
+    #[test]
+    fn flow_control_blocks_on_full_receive_buffer() {
+        let mut h = Harness::new(TcpConfig::default(), SimTime::from_us(10), 0.0);
+        h.run_until(|h| h.a.state() == TcpState::Established, 50);
+        let data = vec![3u8; 600_000];
+        let mut sent = 0;
+        // Never read from b: sender must stop after filling b's 256 KB
+        // receive buffer (plus what is still in flight).
+        for _ in 0..10_000 {
+            if sent < data.len() {
+                sent += h.a.send(&data[sent..], h.now);
+            }
+            if !h.step() {
+                break;
+            }
+        }
+        assert!(
+            h.b.readable() <= 256 * 1024,
+            "receive buffer bounded: {}",
+            h.b.readable()
+        );
+        // Sender's unsent backlog persists (it couldn't push everything).
+        assert!(sent < data.len(), "flow control must stall the sender");
+        // Now drain and confirm the rest flows.
+        let mut buf = [0u8; 65536];
+        let mut got = 0;
+        for _ in 0..100_000 {
+            if sent < data.len() {
+                sent += h.a.send(&data[sent..], h.now);
+            }
+            got += h.b.recv(&mut buf, h.now);
+            if got == data.len() {
+                break;
+            }
+            if !h.step() {
+                break;
+            }
+        }
+        assert_eq!(got, data.len());
+    }
+
+    #[test]
+    fn seq_arithmetic_wraps() {
+        assert!(seq_lt(u32::MAX, 0));
+        assert!(seq_lt(u32::MAX - 5, 5));
+        assert!(!seq_lt(5, u32::MAX - 5));
+        assert!(seq_le(7, 7));
+    }
+}

@@ -1,0 +1,231 @@
+//! CPU-time cost model for kernel and driver work.
+//!
+//! All constants are expressed in nanoseconds **at the reference frequency**
+//! of 3.4 GHz (the paper's host cores, Table II) and scaled linearly with
+//! the core's clock when charged on a slower core (the 2.45 GHz MCN
+//! processor pays 3.4/2.45 ≈ 1.39× more wall time for the same work).
+//!
+//! The values follow published kernel-path measurements (NetDev/eBPF-era
+//! profiling of `tcp_sendmsg`/NAPI paths) and were jointly calibrated so
+//! that the *baseline* reproduces its anchors: a single 10GbE iperf stream
+//! saturates the wire at ~9.4 Gbit/s, and a 16-byte ping RTT between two
+//! hosts over one switch lands near the ~25–30 µs the paper's Table III
+//! and Fig. 8(b) imply. The MCN results are *not* calibrated — they emerge
+//! from the same constants plus the structural differences (no PHY, SRAM
+//! copies, polling vs. interrupts).
+
+use serde::{Deserialize, Serialize};
+
+use mcn_sim::SimTime;
+
+/// CPU-time constants (ns at 3.4 GHz) and the scaling machinery.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// This core's frequency in GHz (scales every charge).
+    pub freq_ghz: f64,
+
+    /// Syscall entry/exit + socket lock for one `tcp_sendmsg`/`tcp_recvmsg`
+    /// call (independent of size).
+    pub syscall_ns: f64,
+    /// TCP/IP transmit-path processing per packet: header construction,
+    /// route lookup, qdisc — excluding checksum and copies.
+    pub tcp_tx_pkt_ns: f64,
+    /// TCP/IP receive-path processing per packet: demux, state machine,
+    /// sk_buff bookkeeping — excluding checksum and copies.
+    pub tcp_rx_pkt_ns: f64,
+    /// Extra cost to process a pure ACK (much lighter than a data packet).
+    pub tcp_ack_ns: f64,
+    /// Software checksum, per byte (~0.75 cycles/byte with vectorised
+    /// csum_partial). The `mcn2` optimisation deletes these charges.
+    pub checksum_per_byte_ns: f64,
+    /// Kernel memcpy per byte when the data is DRAM-resident (charged
+    /// *instead of* modelled line traffic only for small control copies;
+    /// bulk copies go through the memory system as real transactions).
+    pub memcpy_per_byte_ns: f64,
+    /// Hardware interrupt entry + handler dispatch + exit.
+    pub irq_ns: f64,
+    /// Scheduling a softirq/tasklet and entering its handler.
+    pub softirq_ns: f64,
+    /// NIC driver transmit work per packet: descriptor write + doorbell.
+    pub driver_tx_pkt_ns: f64,
+    /// NIC driver receive work per packet: ring cleanup + sk_buff alloc.
+    pub driver_rx_pkt_ns: f64,
+    /// One high-resolution-timer expiry (timer interrupt + requeue) —
+    /// the cost the `mcn1` ALERT_N interrupt removes from the idle path.
+    pub hrtimer_ns: f64,
+    /// Reading one MCN SRAM poll field from the driver (uncached load is
+    /// modelled as channel traffic; this is the surrounding driver code).
+    pub poll_check_ns: f64,
+    /// MPI library overhead per message send/recv (matching, envelope).
+    pub mpi_msg_ns: f64,
+    /// CPU `memcpy_to_mcn` per byte: writes through the write-combining
+    /// SRAM window (paper Sec. III-B "memory mapping unit"). WC merges to
+    /// cache-line bursts, so writes are reasonably fast but still
+    /// uncacheable-ordered.
+    pub sram_wr_per_byte_ns: f64,
+    /// CPU `memcpy_from_mcn` per byte: cacheable reads of the SRAM window
+    /// followed by explicit invalidation — the slow direction (~2 GB/s),
+    /// and the reason Table III's MCN Driver-RX dominates. MCN-DMA (mcn5)
+    /// removes these charges entirely.
+    pub sram_rd_per_byte_ns: f64,
+}
+
+impl CostModel {
+    /// Host-class core (3.4 GHz, Table II).
+    pub fn host() -> Self {
+        CostModel {
+            freq_ghz: 3.4,
+            syscall_ns: 400.0,
+            tcp_tx_pkt_ns: 450.0,
+            tcp_rx_pkt_ns: 550.0,
+            tcp_ack_ns: 200.0,
+            checksum_per_byte_ns: 0.20,
+            memcpy_per_byte_ns: 0.15,
+            irq_ns: 1_200.0,
+            softirq_ns: 300.0,
+            driver_tx_pkt_ns: 200.0,
+            driver_rx_pkt_ns: 250.0,
+            hrtimer_ns: 450.0,
+            poll_check_ns: 120.0,
+            mpi_msg_ns: 400.0,
+            sram_wr_per_byte_ns: 0.15,
+            sram_rd_per_byte_ns: 0.40,
+        }
+    }
+
+    /// MCN processor core (2.45 GHz mobile core, Table II). Same reference
+    /// constants — the scaling by frequency plus the narrower core is
+    /// approximated with a single IPC derate folded into the frequency.
+    pub fn mcn() -> Self {
+        CostModel {
+            // 2.45 GHz × ~0.8 relative IPC of the 3-wide mobile core vs the
+            // host core on kernel code ≈ 1.96 "effective GHz".
+            freq_ghz: 1.96,
+            ..Self::host()
+        }
+    }
+
+    fn scale(&self, ns_at_ref: f64) -> SimTime {
+        SimTime::from_ns_f64(ns_at_ref * 3.4 / self.freq_ghz)
+    }
+
+    /// One socket syscall.
+    pub fn syscall(&self) -> SimTime {
+        self.scale(self.syscall_ns)
+    }
+
+    /// Transmit-path protocol processing for a packet of `payload` bytes;
+    /// `checksum` controls whether software checksumming is charged.
+    pub fn tcp_tx(&self, payload: usize, checksum: bool) -> SimTime {
+        let mut ns = self.tcp_tx_pkt_ns;
+        if checksum {
+            ns += self.checksum_per_byte_ns * payload as f64;
+        }
+        self.scale(ns)
+    }
+
+    /// Receive-path protocol processing for a packet of `payload` bytes.
+    pub fn tcp_rx(&self, payload: usize, checksum: bool) -> SimTime {
+        let mut ns = self.tcp_rx_pkt_ns;
+        if checksum {
+            ns += self.checksum_per_byte_ns * payload as f64;
+        }
+        self.scale(ns)
+    }
+
+    /// Processing a pure ACK.
+    pub fn tcp_ack(&self) -> SimTime {
+        self.scale(self.tcp_ack_ns)
+    }
+
+    /// A small control-path copy of `bytes` (header fixups etc.).
+    pub fn small_copy(&self, bytes: usize) -> SimTime {
+        self.scale(self.memcpy_per_byte_ns * bytes as f64)
+    }
+
+    /// Hardware interrupt overhead.
+    pub fn irq(&self) -> SimTime {
+        self.scale(self.irq_ns)
+    }
+
+    /// Softirq/tasklet scheduling overhead.
+    pub fn softirq(&self) -> SimTime {
+        self.scale(self.softirq_ns)
+    }
+
+    /// NIC driver transmit work per packet.
+    pub fn driver_tx(&self) -> SimTime {
+        self.scale(self.driver_tx_pkt_ns)
+    }
+
+    /// NIC driver receive work per packet.
+    pub fn driver_rx(&self) -> SimTime {
+        self.scale(self.driver_rx_pkt_ns)
+    }
+
+    /// One HR-timer expiry.
+    pub fn hrtimer(&self) -> SimTime {
+        self.scale(self.hrtimer_ns)
+    }
+
+    /// Driver-side poll check of one MCN DIMM.
+    pub fn poll_check(&self) -> SimTime {
+        self.scale(self.poll_check_ns)
+    }
+
+    /// MPI per-message library overhead.
+    pub fn mpi_msg(&self) -> SimTime {
+        self.scale(self.mpi_msg_ns)
+    }
+
+    /// CPU cost of `memcpy_to_mcn` for `bytes` (write-combined SRAM window).
+    pub fn sram_write_copy(&self, bytes: usize) -> SimTime {
+        self.scale(self.sram_wr_per_byte_ns * bytes as f64)
+    }
+
+    /// CPU cost of `memcpy_from_mcn` for `bytes` (cacheable read +
+    /// invalidate of the SRAM window).
+    pub fn sram_read_copy(&self, bytes: usize) -> SimTime {
+        self.scale(self.sram_rd_per_byte_ns * bytes as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_constants_scale_identity() {
+        let c = CostModel::host();
+        assert_eq!(c.syscall(), SimTime::from_ns(400));
+        assert_eq!(c.irq(), SimTime::from_ns(1200));
+    }
+
+    #[test]
+    fn slower_core_pays_more() {
+        let h = CostModel::host();
+        let m = CostModel::mcn();
+        assert!(m.syscall() > h.syscall());
+        let ratio = m.syscall().as_ns_f64() / h.syscall().as_ns_f64();
+        assert!((ratio - 3.4 / 1.96).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn checksum_scales_with_size() {
+        let c = CostModel::host();
+        let small = c.tcp_tx(64, true);
+        let big = c.tcp_tx(9000, true);
+        assert!(big > small);
+        // Without checksum, size does not matter on this path.
+        assert_eq!(c.tcp_tx(64, false), c.tcp_tx(9000, false));
+        // 9000B checksum ≈ 1.8 us at 0.20 ns/B.
+        let delta = (big - c.tcp_tx(9000, false)).as_ns_f64();
+        assert!((delta - 1800.0).abs() < 1.0, "delta {delta}");
+    }
+
+    #[test]
+    fn ack_cheaper_than_data_packet() {
+        let c = CostModel::host();
+        assert!(c.tcp_ack() < c.tcp_rx(1460, true));
+    }
+}

@@ -1,0 +1,266 @@
+//! Time-ordered event queue.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::SimTime;
+
+/// Handle to a scheduled event, used to cancel it before it fires.
+///
+/// Returned by [`EventQueue::schedule_cancellable`]. Handles are unique per
+/// queue for the lifetime of the queue (a monotonically increasing sequence
+/// number), so a stale handle never cancels a different event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+/// A deterministic, time-ordered event queue.
+///
+/// * Events fire in nondecreasing time order.
+/// * Events scheduled for the **same** timestamp fire in the order they were
+///   scheduled (stable FIFO) — crucial for reproducibility, since hash-order
+///   or heap-order ties would make runs non-deterministic.
+/// * Events can be cancelled via the handle returned by
+///   [`schedule_cancellable`](Self::schedule_cancellable); cancellation is
+///   O(1) (tombstoning) and cancelled events are skipped on pop.
+///
+/// The payload type `E` is chosen by the system crate driving the queue;
+/// this kernel imposes no actor or component model.
+///
+/// ```
+/// use mcn_sim::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_ns(2), "b");
+/// q.schedule(SimTime::from_ns(1), "a");
+/// q.schedule(SimTime::from_ns(2), "c"); // same time as "b": FIFO
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+/// assert_eq!(order, ["a", "b", "c"]);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    cancelled: HashSet<u64>,
+    /// Seqs of cancellable events still in the heap; only events created via
+    /// `schedule_cancellable` pay this bookkeeping cost.
+    live_cancellable: HashSet<u64>,
+    now: SimTime,
+    popped: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: HashSet::new(),
+            live_cancellable: HashSet::new(),
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// The timestamp of the most recently popped event (time zero before the
+    /// first pop). The simulation's notion of "now".
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events delivered so far (excluding cancelled ones).
+    #[inline]
+    pub fn delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `payload` to fire at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than [`now`](Self::now): scheduling into
+    /// the past is always a model bug and silently reordering it would
+    /// corrupt causality.
+    pub fn schedule(&mut self, time: SimTime, payload: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled in the past: {} < now {}",
+            time,
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, payload }));
+    }
+
+    /// Schedules `payload` to fire `delay` after [`now`](Self::now).
+    pub fn schedule_in(&mut self, delay: SimTime, payload: E) {
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Schedules a cancellable event; see [`cancel`](Self::cancel).
+    pub fn schedule_cancellable(&mut self, time: SimTime, payload: E) -> EventHandle {
+        let handle = EventHandle(self.next_seq);
+        self.schedule(time, payload);
+        self.live_cancellable.insert(handle.0);
+        handle
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event had
+    /// not yet fired (and is now guaranteed never to fire), `false` if it
+    /// already fired or was already cancelled.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if !self.live_cancellable.remove(&handle.0) {
+            return false; // already fired, already cancelled, or bogus
+        }
+        self.cancelled.insert(handle.0)
+    }
+
+    /// Removes and returns the next event `(time, payload)`, advancing
+    /// [`now`](Self::now) to its timestamp. Cancelled events are skipped.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.live_cancellable.remove(&entry.seq);
+            self.now = entry.time;
+            self.popped += 1;
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// The timestamp of the next live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// `true` when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(30), 3);
+        q.schedule(SimTime::from_ns(10), 1);
+        q.schedule(SimTime::from_ns(20), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_ns(10), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_ns(20), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_ns(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_tiebreak_at_equal_times() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn now_advances_and_schedule_in() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), "a");
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ns(10));
+        q.schedule_in(SimTime::from_ns(5), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_ns(15), "b")));
+        assert_eq!(q.delivered(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), ());
+        q.pop();
+        q.schedule(SimTime::from_ns(5), ());
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule_cancellable(SimTime::from_ns(1), 1);
+        let h2 = q.schedule_cancellable(SimTime::from_ns(2), 2);
+        q.schedule(SimTime::from_ns(3), 3);
+        assert!(q.cancel(h2));
+        assert!(!q.cancel(h2), "double cancel reports false");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_ns(1), 1)));
+        assert!(!q.cancel(h1), "cancelling a fired event reports false");
+        assert_eq!(q.pop(), Some((SimTime::from_ns(3), 3)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_cancellable(SimTime::from_ns(1), 1);
+        q.schedule(SimTime::from_ns(2), 2);
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(2)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn bogus_handle_is_rejected() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventHandle(42)));
+    }
+}

@@ -1,0 +1,9 @@
+//! Facade crate: re-exports the MCN reproduction workspace crates.
+#![forbid(unsafe_code)]
+pub use mcn;
+pub use mcn_dram as dram;
+pub use mcn_energy as energy;
+pub use mcn_mpi as mpi;
+pub use mcn_net as net;
+pub use mcn_node as node;
+pub use mcn_sim as sim;
