@@ -43,8 +43,10 @@ fn main() {
 
     println!("\n== Ablation 2: mcn0 polling interval ==");
     for us in [1u64, 2, 4, 8] {
-        let mut cfg = SystemConfig::default();
-        cfg.poll_interval = SimTime::from_us(us);
+        let cfg = SystemConfig {
+            poll_interval: SimTime::from_us(us),
+            ..SystemConfig::default()
+        };
         let r = iperf_mcn_custom(&cfg, McnConfig::level(0), McnMode::HostMcn);
         println!("poll every {us} us: {:.2} Gbps", r.gbps);
     }
@@ -60,8 +62,10 @@ fn main() {
 
     println!("\n== Ablation 4: SRAM ring capacity (mcn4) ==");
     for kb in [72usize, 96, 160, 256] {
-        let mut cfg = SystemConfig::default();
-        cfg.sram_ring_bytes = kb * 1024;
+        let cfg = SystemConfig {
+            sram_ring_bytes: kb * 1024,
+            ..SystemConfig::default()
+        };
         let r = iperf_mcn_custom(&cfg, McnConfig::level(4), McnMode::HostMcn);
         println!("{kb:>4} KB rings: {:.2} Gbps", r.gbps);
     }

@@ -11,8 +11,10 @@ fn main() {
         "{:<6} {:>22} {:>26}",
         "bench", "scale-up 4/8/12/16 cores", "MCN 0/1/2/3 DIMMs"
     );
-    let mut cfg4 = SystemConfig::default();
-    cfg4.host_cores = 4;
+    let cfg4 = SystemConfig {
+        host_cores: 4,
+        ..SystemConfig::default()
+    };
     for spec in WorkloadSpec::npb() {
         let base = workload_scaleup(spec, 4, 4);
         assert!(base.verified);

@@ -372,8 +372,10 @@ pub fn workload_conventional(spec: WorkloadSpec, ranks: usize) -> WorkloadResult
 /// Runs `spec` on a scale-up server with `cores` cores and `ranks` ranks
 /// over loopback (the Fig. 11 baseline).
 pub fn workload_scaleup(spec: WorkloadSpec, cores: usize, ranks: usize) -> WorkloadResult {
-    let mut cfg = SystemConfig::default();
-    cfg.host_cores = cores;
+    let cfg = SystemConfig {
+        host_cores: cores,
+        ..SystemConfig::default()
+    };
     let mut sys = McnSystem::new(&cfg, 0, McnConfig::level(0));
     let report = spawn_on_mcn(&mut sys, spec, ranks, 0, 0xC0FFEE);
     let ok = sys.run_until_procs_done(SimTime::from_secs(30));

@@ -910,8 +910,7 @@ mod tests {
         let mut now = SimTime::ZERO;
         for i in 0..50u64 {
             ch.push(MemRequest::read(i * LINE_BYTES, i), now);
-            loop {
-                let Some(t) = ch.next_event() else { break };
+            while let Some(t) = ch.next_event() {
                 let done = ch.advance(t);
                 now = now.max(t);
                 if done.iter().any(|c| c.tag == i) {

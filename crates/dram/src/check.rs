@@ -415,8 +415,7 @@ mod tests {
         let mut now = SimTime::ZERO;
         for i in 0..64u64 {
             ch.push(MemRequest::read(i * 7 * LINE_BYTES, i), now);
-            loop {
-                let Some(t) = ch.next_event() else { break };
+            while let Some(t) = ch.next_event() {
                 now = now.max(t);
                 if ch.advance(t).iter().any(|cpl| cpl.tag == i) {
                     break;

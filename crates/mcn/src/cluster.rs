@@ -14,7 +14,7 @@ use mcn_net::tcp::TcpConfig;
 use mcn_net::{MacAddr, NetConfig};
 use mcn_node::nic::{Nic, NicConfig, NicEvent, NIC_WAITER};
 use mcn_node::{CostModel, Node, ProcId, Process};
-use mcn_sim::SimTime;
+use mcn_sim::{SimTime, StallReport};
 
 use crate::config::SystemConfig;
 
@@ -81,11 +81,11 @@ impl EthernetCluster {
             });
         }
         // Static neighbor tables (ARP substitute): everyone knows everyone.
-        for i in 0..n {
+        for (i, node) in nodes.iter_mut().enumerate() {
             for j in 0..n {
                 if i != j {
                     let (ip, mac) = (Self::ip_of(j), MacAddr::from_id(0x0300 + j as u16));
-                    nodes[i].node.stack.add_neighbor(ip, mac);
+                    node.node.stack.add_neighbor(ip, mac);
                 }
             }
         }
@@ -105,6 +105,11 @@ impl EthernetCluster {
         let old = std::mem::replace(&mut self.up[i], Link::ten_gbe());
         let _ = old;
         self.up[i] = Link::new(1.25e9, SimTime::from_us(1)).with_impairments(drop, corrupt, seed);
+    }
+
+    /// The uplink (node `i` → switch), e.g. to read impairment counters.
+    pub fn uplink(&self, i: usize) -> &Link {
+        &self.up[i]
     }
 
     /// IP of node `i` (`10.0.0.(i+1)`).
@@ -198,12 +203,39 @@ impl EthernetCluster {
         true
     }
 
+    /// A structured snapshot of the cluster for stall debugging: each
+    /// node's blocked processes and socket states, plus NIC/link timers.
+    pub fn stall_report(&self, title: &str) -> StallReport {
+        let mut r =
+            StallReport::new(format!("{title} (cluster of {} @ {})", self.len(), self.now));
+        for (i, cn) in self.nodes.iter().enumerate() {
+            for line in cn.node.runner.stalled_procs() {
+                r.line(&format!("node{i} procs"), line);
+            }
+            for line in cn.node.stack.socket_states() {
+                r.line(&format!("node{i} sockets"), line);
+            }
+            r.line(
+                "wire",
+                format!(
+                    "node{i}: nic_next={:?} up_next={:?} down_next={:?}",
+                    cn.nic.next_event(),
+                    self.up[i].next_arrival(),
+                    self.down[i].next_arrival()
+                ),
+            );
+        }
+        r
+    }
+
     /// Processes everything due at `t`.
     pub fn advance(&mut self, t: SimTime) {
         assert!(t >= self.now, "time must not go backwards");
         self.now = t;
         for round in 0.. {
-            assert!(round < 100_000, "cluster advance did not converge");
+            if round >= 100_000 {
+                panic!("{}", self.stall_report("cluster advance did not converge"));
+            }
             let mut changed = false;
             for i in 0..self.nodes.len() {
                 // Memory completions → NIC DMA bookkeeping.
@@ -373,7 +405,13 @@ mod tests {
                 got.extend_from_slice(&buf[..n]);
             }
             guard += 1;
-            assert!(guard < 10_000, "stalled at {} bytes", got.len());
+            if guard >= 10_000 {
+                panic!(
+                    "stalled at {} bytes\n{}",
+                    got.len(),
+                    c.stall_report("tcp bulk transfer stalled")
+                );
+            }
         }
         assert_eq!(got, data);
     }
@@ -395,7 +433,12 @@ mod tests {
         while c.node(0).node.stack.tcp_state(cs) != mcn_net::tcp::TcpState::Established {
             c.run_until(c.now() + SimTime::from_ms(50));
             guard += 1;
-            assert!(guard < 100, "handshake never completed under loss");
+            if guard >= 100 {
+                panic!(
+                    "handshake never completed under loss\n{}",
+                    c.stall_report("tcp handshake stalled")
+                );
+            }
         }
         let ss = c.node_mut(1).node.stack.tcp_accept(lst).unwrap();
         let data: Vec<u8> = (0..64 * 1024u32).map(|i| (i % 249) as u8).collect();
@@ -428,7 +471,13 @@ mod tests {
                 got.extend_from_slice(&buf[..n]);
             }
             guard += 1;
-            assert!(guard < 50_000, "stalled at {} bytes", got.len());
+            if guard >= 50_000 {
+                panic!(
+                    "stalled at {} bytes\n{}",
+                    got.len(),
+                    c.stall_report("lossy tcp transfer stalled")
+                );
+            }
         }
         assert_eq!(got, data, "loss and corruption must not corrupt the stream");
         assert!(

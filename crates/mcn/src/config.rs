@@ -121,6 +121,10 @@ pub struct SystemConfig {
     pub sram_ring_bytes: usize,
     /// MCN-DMA engine setup cost per transfer (`mcn5`).
     pub dma_setup: SimTime,
+    /// Deadline the host driver's watchdog gives an MCN-DMA transfer
+    /// before declaring it stalled and retrying (doubling per attempt,
+    /// then degrading that transfer to the CPU-copy path).
+    pub dma_watchdog_deadline: SimTime,
     /// Baseline Ethernet bandwidth in bytes/second (Table II: 10GbE).
     pub eth_bytes_per_sec: f64,
     /// Baseline Ethernet link latency (Table II: 1 µs).
@@ -140,6 +144,7 @@ impl Default for SystemConfig {
             alert_latency: SimTime::from_ns(200),
             sram_ring_bytes: 160 * 1024,
             dma_setup: SimTime::from_ns(150),
+            dma_watchdog_deadline: SimTime::from_us(5),
             eth_bytes_per_sec: 1.25e9,
             eth_latency: SimTime::from_us(1),
         }

@@ -27,10 +27,12 @@ use mcn_net::tcp::TcpConfig;
 use mcn_net::{EthernetFrame, MacAddr, NetConfig};
 use mcn_node::mem::{Pattern, Transfer};
 use mcn_node::{CostModel, JobId, Node, WaiterId};
+use mcn_sim::fault::{FaultInjector, FaultKind};
 use mcn_sim::stats::{Counter, Histogram};
 use mcn_sim::SimTime;
 
 use crate::config::{McnConfig, SystemConfig};
+use crate::error::{McnError, McnSide};
 use crate::sram::{Dir, SramBuffer};
 
 /// EtherType of the experimental direct-message channel (Sec. VII future
@@ -94,6 +96,16 @@ pub struct DimmDriverStats {
     pub driver_tx: Histogram,
     /// Driver receive time per frame (IRQ → delivered to stack).
     pub driver_rx: Histogram,
+    /// Injected SRAM bit flips on this DIMM's TX push path (ECC escapes).
+    pub ecc_escapes: Counter,
+    /// Injected frame drops on this DIMM's TX push path.
+    pub frames_dropped: Counter,
+    /// Undecodable messages popped from the RX ring and dropped.
+    pub malformed: Counter,
+    /// Frames dropped on an unexpectedly full TX ring.
+    pub ring_full_drops: Counter,
+    /// Memory completions for jobs the driver no longer tracks.
+    pub unknown_jobs: Counter,
 }
 
 /// One MCN DIMM: node + SRAM + MCN-side driver. See the module docs.
@@ -122,6 +134,8 @@ pub struct McnDimm {
     pub direct_rx: VecDeque<(SimTime, bytes::Bytes)>,
     /// (Retained for layout stability; flow steering is hash-based.)
     rx_steer: usize,
+    /// Fault injector for this DIMM's SRAM push path (inert by default).
+    faults: FaultInjector,
     /// Driver statistics.
     pub stats: DimmDriverStats,
 }
@@ -204,8 +218,15 @@ impl McnDimm {
             scratch: 0,
             direct_rx: VecDeque::new(),
             rx_steer: 0,
+            faults: FaultInjector::none(),
             stats: DimmDriverStats::default(),
         }
+    }
+
+    /// Installs the fault injector covering this DIMM's SRAM TX push path
+    /// (`Drop` loses the frame, `BitFlip` corrupts one bit of it).
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.faults = faults;
     }
 
     /// The IP address scheme of the paper's network organisation: DIMM `i`
@@ -328,10 +349,16 @@ impl McnDimm {
     pub fn advance(&mut self, now: SimTime) -> Vec<DimmSignal> {
         for _ in 0..10_000 {
             let mut changed = false;
-            // Local memory-job completions → driver ops.
+            // Local memory-job completions → driver ops. Errors are
+            // counted and the simulation keeps running: a fault injector
+            // can legitimately produce both conditions.
             for (waiter, job) in self.node.advance_mem(now) {
                 debug_assert_eq!(waiter, DIMM_DRV_WAITER);
-                self.on_job_done(job, now);
+                match self.on_job_done(job, now) {
+                    Ok(()) => {}
+                    Err(McnError::UnknownJob { .. }) => self.stats.unknown_jobs.inc(),
+                    Err(McnError::RingFull { .. }) => self.stats.ring_full_drops.inc(),
+                }
                 changed = true;
             }
             // Due staged driver work.
@@ -466,20 +493,35 @@ impl McnDimm {
             .insert(job.0, DrvOp::TxCopy { frame, started: now });
     }
 
-    fn on_job_done(&mut self, job: JobId, now: SimTime) {
+    fn on_job_done(&mut self, job: JobId, now: SimTime) -> Result<(), McnError> {
         match self.pending.remove(&job.0) {
             Some(DrvOp::TxCopy { frame, started }) => {
+                // The copy into the interface SRAM is the injection point
+                // for memory-channel faults on this side: a dropped frame
+                // (transport recovers) or an ECC-escaped bit flip.
+                self.tx_busy = false;
+                self.staged.push((now, Staged::TryTx));
+                if self.faults.fires(FaultKind::Drop, now) {
+                    self.stats.frames_dropped.inc();
+                    return Ok(());
+                }
+                let mut encoded = frame.encode();
+                if self.faults.fires(FaultKind::BitFlip, now) {
+                    self.faults.flip_bit(&mut encoded);
+                    self.stats.ecc_escapes.inc();
+                }
                 let was_empty = !self.sram.poll_flag(Dir::Tx);
-                self.sram
-                    .push(Dir::Tx, &frame.encode())
-                    .expect("space was checked and only the host consumes TX");
+                if self.sram.push(Dir::Tx, &encoded).is_err() {
+                    return Err(McnError::RingFull {
+                        side: McnSide::Dimm(self.index),
+                        len: encoded.len(),
+                    });
+                }
                 self.stats.tx_frames.inc();
                 self.stats.driver_tx.record(now.saturating_sub(started));
                 if was_empty {
                     self.signals.push(DimmSignal::TxPollRaised(now));
                 }
-                self.tx_busy = false;
-                self.staged.push((now, Staged::TryTx));
             }
             Some(DrvOp::RxCopy { started }) => {
                 let msgs = self.sram.pop_all(Dir::Rx);
@@ -518,8 +560,9 @@ impl McnDimm {
                             self.staged.push((end, Staged::Deliver(frame)));
                         }
                         Err(_) => {
-                            // Malformed message: drop (counted nowhere in the
-                            // paper either; cannot happen without SRAM bugs).
+                            // Undecodable ring message (possible under
+                            // injected corruption): count and drop.
+                            self.stats.malformed.inc();
                         }
                     }
                 }
@@ -530,8 +573,14 @@ impl McnDimm {
                     self.rx_kick(now, false);
                 }
             }
-            None => panic!("completion for unknown driver job {job:?}"),
+            None => {
+                return Err(McnError::UnknownJob {
+                    job,
+                    side: McnSide::Dimm(self.index),
+                })
+            }
         }
+        Ok(())
     }
 }
 
@@ -634,8 +683,10 @@ mod tests {
 
     #[test]
     fn tx_blocks_on_full_ring_and_recovers_on_kick() {
-        let mut sys_cfg = SystemConfig::default();
-        sys_cfg.sram_ring_bytes = 2048; // tiny ring
+        let sys_cfg = SystemConfig {
+            sram_ring_bytes: 2048, // tiny ring
+            ..SystemConfig::default()
+        };
         let mut d = McnDimm::new(
             0,
             0,

@@ -105,6 +105,9 @@ pub enum HostOp {
     PollCheck {
         /// Port being checked.
         port: usize,
+        /// Issued by the watchdog fallback poller (covering for dropped
+        /// ALERT_N edges) rather than the HR-timer/interrupt path.
+        via_fallback: bool,
     },
     /// `memcpy_from_mcn` of the TX ring contents.
     RxCopy {
@@ -150,6 +153,37 @@ pub struct HostDriverStats {
     pub driver_tx: Histogram,
     /// Driver receive time per frame (poll/alert hit → delivered).
     pub driver_rx: Histogram,
+
+    // --- fault-injection and recovery accounting -----------------------
+    /// Injected SRAM bit flips that slipped past ECC into ring words
+    /// (quantifies the checksum-bypass exposure at `mcn2+`).
+    pub ecc_escapes: Counter,
+    /// Injected frame drops on the SRAM push path.
+    pub frames_dropped: Counter,
+    /// Injected ALERT_N interrupt drops.
+    pub alerts_dropped: Counter,
+    /// Injected ALERT_N delivery delays.
+    pub alerts_delayed: Counter,
+    /// Injected MCN-DMA descriptor stalls.
+    pub dma_stalls: Counter,
+    /// Fallback-poller rounds (armed only when ALERT_N faults are active;
+    /// separate from `polls` so interrupt-mode baselines stay zero-poll).
+    pub fallback_polls: Counter,
+    /// Pending TX work discovered by the fallback poller after a dropped
+    /// ALERT_N (each is a hang averted).
+    pub alert_recoveries: Counter,
+    /// Stalled DMA transfers re-issued by the watchdog.
+    pub dma_retries: Counter,
+    /// Stalled DMA transfers that exhausted retries and degraded to the
+    /// CPU-copy (`memcpy_to_mcn`/`from_mcn`) path for that transfer.
+    pub dma_fallbacks: Counter,
+    /// Undecodable messages popped from SRAM TX rings and dropped.
+    pub malformed: Counter,
+    /// Frames dropped because a ring filled despite the space pre-check
+    /// (only possible under fault injection).
+    pub ring_full_drops: Counter,
+    /// Memory-system completions for jobs the driver no longer tracks.
+    pub unknown_jobs: Counter,
 }
 
 /// Host-side driver state for all DIMMs.

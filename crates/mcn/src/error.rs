@@ -1,0 +1,56 @@
+//! Typed errors for the MCN data path.
+//!
+//! The packet-ingest and ring hot paths used to `panic!`/`expect` on
+//! conditions that a fault injector (or a buggy peer) can legitimately
+//! produce — a completion for an untracked job, a ring that filled despite
+//! the space pre-check. Those paths now return [`McnError`]; the drive
+//! loops count the error on the relevant stats struct and keep the
+//! simulation running (graceful degradation instead of a dead process).
+
+use mcn_node::JobId;
+
+/// Which side of the memory channel an error was raised on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McnSide {
+    /// The host-side driver.
+    Host,
+    /// A DIMM-side driver (by DIMM index).
+    Dimm(usize),
+}
+
+/// A recoverable fault on the MCN data path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum McnError {
+    /// A memory-system completion arrived for a job the driver is not
+    /// tracking (lost/duplicated bookkeeping under fault injection).
+    UnknownJob {
+        /// The completed job.
+        job: JobId,
+        /// Where it surfaced.
+        side: McnSide,
+    },
+    /// An SRAM ring push found the ring full even though space was checked
+    /// before the copy was issued; the frame is dropped and the transport
+    /// layer is left to recover.
+    RingFull {
+        /// Where the push failed.
+        side: McnSide,
+        /// Encoded message length that did not fit.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for McnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            McnError::UnknownJob { job, side } => {
+                write!(f, "completion for unknown job {job:?} on {side:?}")
+            }
+            McnError::RingFull { side, len } => {
+                write!(f, "ring full on {side:?} pushing {len} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for McnError {}

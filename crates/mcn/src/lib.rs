@@ -51,6 +51,7 @@ pub mod cluster;
 pub mod config;
 pub mod dimm;
 pub mod driver;
+pub mod error;
 pub mod rack;
 pub mod sram;
 pub mod system;
@@ -59,6 +60,7 @@ pub use cluster::EthernetCluster;
 pub use config::{McnConfig, SystemConfig};
 pub use dimm::McnDimm;
 pub use driver::HostDriver;
+pub use error::{McnError, McnSide};
 pub use rack::McnRack;
 pub use sram::SramBuffer;
 

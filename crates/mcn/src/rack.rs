@@ -15,7 +15,7 @@ use mcn_net::link::{Link, Switch};
 use mcn_node::nic::{Nic, NicConfig, NicEvent, NIC_WAITER};
 use mcn_node::ProcId;
 use mcn_node::Process;
-use mcn_sim::SimTime;
+use mcn_sim::{SimTime, StallReport};
 
 use crate::config::{McnConfig, SystemConfig};
 use crate::system::McnSystem;
@@ -50,7 +50,7 @@ impl McnRack {
             .collect();
         // Cross-server routes: every remote MCN-node and host-side address
         // routes out the NIC towards the owning server's NIC.
-        for s in 0..n_servers {
+        for (s, srv) in servers.iter_mut().enumerate() {
             for r in 0..n_servers {
                 if r == s {
                     continue;
@@ -60,10 +60,10 @@ impl McnRack {
                 for d in 0..dimms_per_server {
                     let dimm_ip = crate::McnDimm::ip_for(r, d);
                     let host_if = McnSystem::host_if_ip_for(r, d);
-                    servers[s].add_remote_route(dimm_ip, gw, gw_mac);
-                    servers[s].add_remote_route(host_if, gw, gw_mac);
+                    srv.add_remote_route(dimm_ip, gw, gw_mac);
+                    srv.add_remote_route(host_if, gw, gw_mac);
                 }
-                servers[s].add_remote_route(gw, gw, gw_mac);
+                srv.add_remote_route(gw, gw, gw_mac);
             }
         }
         let mk_link = || Link::new(sys.eth_bytes_per_sec, sys.eth_latency);
@@ -176,6 +176,28 @@ impl McnRack {
         true
     }
 
+    /// A structured snapshot of the whole rack for stall debugging: every
+    /// server's [`McnSystem::stall_report`] folded in under a `srv{s}.`
+    /// prefix, plus a `wire` section with NIC/link timers.
+    pub fn stall_report(&self, title: &str) -> StallReport {
+        let mut r = StallReport::new(format!("{title} (rack of {} @ {})", self.len(), self.now));
+        for (s, srv) in self.servers.iter().enumerate() {
+            r.absorb(&format!("srv{s}."), &srv.stall_report("server"));
+        }
+        for s in 0..self.servers.len() {
+            r.line(
+                "wire",
+                format!(
+                    "srv{s}: nic_next={:?} up_next={:?} down_next={:?}",
+                    self.nics[s].next_event(),
+                    self.up[s].next_arrival(),
+                    self.down[s].next_arrival()
+                ),
+            );
+        }
+        r
+    }
+
     /// Who owns `ip` (by the rack address plan)?
     fn owner_of(&self, ip: std::net::Ipv4Addr) -> Option<usize> {
         let o = ip.octets();
@@ -198,7 +220,9 @@ impl McnRack {
         assert!(t >= self.now, "time must not go backwards");
         self.now = t;
         for round in 0.. {
-            assert!(round < 100_000, "rack advance did not converge");
+            if round >= 100_000 {
+                panic!("{}", self.stall_report("rack advance did not converge"));
+            }
             let mut changed = false;
             for s in 0..self.servers.len() {
                 self.servers[s].advance(t);
@@ -392,7 +416,13 @@ mod tests {
                 got.extend_from_slice(&buf[..n]);
             }
             guard += 1;
-            assert!(guard < 20_000, "stalled at {} bytes", got.len());
+            if guard >= 20_000 {
+                panic!(
+                    "stalled at {} bytes\n{}",
+                    got.len(),
+                    rack.stall_report("tcp_across_the_rack stalled")
+                );
+            }
         }
         assert_eq!(got, data, "byte-exact across two MCN fabrics + Ethernet");
     }
@@ -437,7 +467,6 @@ mod tests {
 
 #[cfg(test)]
 mod direct_tests {
-    use super::*;
     use crate::{McnConfig, McnSystem, SystemConfig};
     use bytes::Bytes;
     use mcn_sim::SimTime;
@@ -487,7 +516,9 @@ mod direct_tests {
         while sys.dimm_mut(0).direct_rx.is_empty() {
             assert!(sys.step(), "idle before delivery");
             guard += 1;
-            assert!(guard < 100_000);
+            if guard >= 100_000 {
+                panic!("{}", sys.stall_report("direct delivery stalled"));
+            }
         }
         let now = sys.now();
         sys.dimm_mut(0)
@@ -495,7 +526,9 @@ mod direct_tests {
         while sys.direct_rx.is_empty() {
             assert!(sys.step(), "idle before reply");
             guard += 1;
-            assert!(guard < 200_000);
+            if guard >= 200_000 {
+                panic!("{}", sys.stall_report("direct reply stalled"));
+            }
         }
         let direct_rtt = sys.now() - t0;
         // Compare with an ICMP ping over the full stack on the same system.
@@ -508,7 +541,9 @@ mod direct_tests {
         while sys.host.stack.pop_ping_reply().is_none() {
             assert!(sys.step(), "idle before echo reply");
             guard += 1;
-            assert!(guard < 400_000);
+            if guard >= 400_000 {
+                panic!("{}", sys.stall_report("icmp echo stalled"));
+            }
         }
         let icmp_rtt = sys.now() - t1;
         assert!(

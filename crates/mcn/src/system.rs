@@ -21,6 +21,7 @@
 //! * **MCN-DMA** (mcn5): the same copy jobs run, but the cores pay only
 //!   the engine setup cost instead of being blocked for the duration.
 
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use mcn_dram::Target;
@@ -29,14 +30,24 @@ use mcn_net::{EthernetFrame, MacAddr, NetConfig};
 use mcn_node::mem::{Pattern, Transfer};
 use mcn_node::nic::{rx_protocol_cost, tx_protocol_cost};
 use mcn_node::{CostModel, JobId, Node, ProcId, Process};
-use mcn_sim::{EventQueue, SimTime};
+use mcn_sim::fault::{FaultInjector, FaultKind, FaultPlan};
+use mcn_sim::{EventQueue, SimTime, StallReport};
 
 use crate::config::{McnConfig, SystemConfig};
 use crate::dimm::{DimmSignal, McnDimm};
 use crate::driver::{
     classify, sram_window, ForwardClass, HostDriver, HostOp, Port, HOST_DRV_WAITER,
 };
+use crate::error::{McnError, McnSide};
 use crate::sram::Dir;
+
+/// Watchdog retry budget before a stalled MCN-DMA transfer degrades to the
+/// CPU-copy path (per transfer, not globally).
+const DMA_MAX_ATTEMPTS: u32 = 2;
+
+/// The fallback poller covers dropped ALERT_N edges at a coarse interval:
+/// frequent enough to bound the hang, rare enough not to recreate `mcn0`.
+const FALLBACK_POLL_MULT: u64 = 16;
 
 #[derive(Debug)]
 enum Effect {
@@ -58,6 +69,24 @@ enum Effect {
     DimmIrq { dimm: usize },
     /// Tell a DIMM its TX ring was drained.
     DimmKick { dimm: usize },
+    /// Watchdog deadline for a possibly-stalled MCN-DMA transfer.
+    DmaWatchdog { key: u64 },
+    /// Coarse safety-net polling round; armed only when ALERT_N faults are
+    /// active, so fault-free interrupt-mode runs never poll.
+    FallbackPoll { channel: u32 },
+}
+
+/// A DMA transfer the watchdog is holding because its descriptor stalled.
+#[derive(Debug)]
+enum StalledOp {
+    /// A host→DIMM `memcpy_to_mcn` that never completed.
+    Tx {
+        port: usize,
+        frame: EthernetFrame,
+        attempt: u32,
+    },
+    /// A DIMM→host `memcpy_from_mcn` that never completed.
+    Rx { port: usize, attempt: u32 },
 }
 
 /// A full MCN-enabled server; see the module docs.
@@ -91,6 +120,15 @@ pub struct McnSystem {
     /// the conventional NIC. A rack orchestrator drains these; a standalone
     /// server counts them in `hdrv.stats.f4_external` and drops them here.
     pub external_out: Vec<EthernetFrame>,
+    /// ALERT_N edge faults (drop/delay).
+    alert_faults: FaultInjector,
+    /// MCN-DMA descriptor faults (stall).
+    dma_faults: FaultInjector,
+    /// Host-side SRAM push faults per DIMM (drop/bit-flip into the RX ring).
+    sram_faults: Vec<FaultInjector>,
+    /// Stalled DMA transfers awaiting their watchdog deadline.
+    stalled: HashMap<u64, StalledOp>,
+    stall_seq: u64,
 }
 
 impl McnSystem {
@@ -98,6 +136,12 @@ impl McnSystem {
     /// `cfg`, spreading DIMMs evenly across host channels.
     pub fn new(sys: &SystemConfig, n_dimms: usize, cfg: McnConfig) -> Self {
         Self::new_in_rack(sys, n_dimms, cfg, 0)
+    }
+
+    /// [`new`](Self::new) with a fault plan wired into the data path; see
+    /// the `*_fault_component` helpers for the component names queried.
+    pub fn with_faults(sys: &SystemConfig, n_dimms: usize, cfg: McnConfig, plan: &FaultPlan) -> Self {
+        Self::with_faults_in_rack(sys, n_dimms, cfg, 0, plan)
     }
 
     /// Builds server `server_id` of a rack (shifted address plan; see
@@ -108,8 +152,46 @@ impl McnSystem {
         cfg: McnConfig,
         server_id: usize,
     ) -> Self {
-        let mut tcp = TcpConfig::default();
-        tcp.mss = cfg.mtu() - mcn_net::IPV4_HEADER_BYTES - mcn_net::TCP_HEADER_BYTES;
+        Self::with_faults_in_rack(sys, n_dimms, cfg, server_id, &FaultPlan::default())
+    }
+
+    /// Fault-plan component name for server `s`'s ALERT_N line (`Drop`
+    /// loses an edge, `Delay` delivers it late).
+    pub fn alert_fault_component(s: usize) -> String {
+        format!("srv{s}.alert")
+    }
+
+    /// Fault-plan component name for server `s`'s MCN-DMA engines
+    /// (`Stall` hangs a descriptor until the watchdog recovers it).
+    pub fn dma_fault_component(s: usize) -> String {
+        format!("srv{s}.dma")
+    }
+
+    /// Fault-plan component name for the host-side SRAM push path into
+    /// DIMM `d`'s RX ring (`Drop` loses the frame, `BitFlip` corrupts one
+    /// bit — an ECC escape the `mcn2` checksum bypass cannot catch).
+    pub fn sram_host_fault_component(s: usize, d: usize) -> String {
+        format!("srv{s}.sram.host{d}")
+    }
+
+    /// Fault-plan component name for DIMM `d`'s push path into its SRAM
+    /// TX ring (same kinds as the host side).
+    pub fn sram_dimm_fault_component(s: usize, d: usize) -> String {
+        format!("srv{s}.sram.dimm{d}")
+    }
+
+    /// [`new_in_rack`](Self::new_in_rack) with a fault plan.
+    pub fn with_faults_in_rack(
+        sys: &SystemConfig,
+        n_dimms: usize,
+        cfg: McnConfig,
+        server_id: usize,
+        plan: &FaultPlan,
+    ) -> Self {
+        let tcp = TcpConfig {
+            mss: cfg.mtu() - mcn_net::IPV4_HEADER_BYTES - mcn_net::TCP_HEADER_BYTES,
+            ..TcpConfig::default()
+        };
         let mut host = Node::new(
             sys.host_cores,
             CostModel::host(),
@@ -151,7 +233,10 @@ impl McnSystem {
                 rx_checksum: !cfg.checksum_bypass,
                 tso: cfg.tso,
             });
-            let dimm = McnDimm::new_in_server(server_id, d, channel, sys, cfg, ip, mac);
+            let mut dimm = McnDimm::new_in_server(server_id, d, channel, sys, cfg, ip, mac);
+            dimm.set_fault_injector(
+                plan.injector(&Self::sram_dimm_fault_component(server_id, d)),
+            );
             // Host-side /32 route: forward to this interface iff the entire
             // destination IP matches the DIMM (paper Sec. III-B).
             host.stack.add_route(
@@ -202,6 +287,21 @@ impl McnSystem {
                 effects.schedule(sys.poll_interval, Effect::PollFire { channel });
             }
         }
+        let alert_faults = plan.injector(&Self::alert_fault_component(server_id));
+        // Safety net for lost ALERT_N edges: a coarse poller, armed only
+        // when alert faults can actually occur so that fault-free
+        // interrupt-mode baselines stay bit-identical (zero polls).
+        if cfg.alert_interrupt && n_dimms > 0 && alert_faults.is_active() {
+            for channel in 0..sys.host_channels {
+                effects.schedule(
+                    sys.poll_interval * FALLBACK_POLL_MULT,
+                    Effect::FallbackPoll { channel },
+                );
+            }
+        }
+        let sram_faults = (0..n_dimms)
+            .map(|d| plan.injector(&Self::sram_host_fault_component(server_id, d)))
+            .collect();
         McnSystem {
             sys: sys.clone(),
             cfg,
@@ -216,6 +316,11 @@ impl McnSystem {
             foreign_jobs: Vec::new(),
             direct_rx: Vec::new(),
             external_out: Vec::new(),
+            alert_faults,
+            dma_faults: plan.injector(&Self::dma_fault_component(server_id)),
+            sram_faults,
+            stalled: HashMap::new(),
+            stall_seq: 0,
         }
     }
 
@@ -352,6 +457,62 @@ impl McnSystem {
         self.host.runner.all_done() && self.dimms.iter().all(|d| d.node.runner.all_done())
     }
 
+    /// Snapshot of why the system appears stalled: blocked processes,
+    /// socket states, port/ring occupancy, in-flight driver jobs. Used by
+    /// the convergence guard and by drive loops whose process set
+    /// quiesced without finishing.
+    pub fn stall_report(&self, title: &str) -> StallReport {
+        let mut r = StallReport::new(format!("{title} (srv{} @ {})", self.server_id, self.now));
+        for line in self.host.runner.stalled_procs() {
+            r.line("host procs", line);
+        }
+        for line in self.host.stack.socket_states() {
+            r.line("host sockets", line);
+        }
+        for (i, (tx_busy, rx_busy, txq)) in self.hdrv.debug_ports().iter().enumerate() {
+            r.line(
+                "ports",
+                format!("port{i}: tx_busy={tx_busy} rx_busy={rx_busy} tx_queue={txq}"),
+            );
+        }
+        for (d, dimm) in self.dimms.iter().enumerate() {
+            r.line(
+                "rings",
+                format!(
+                    "dimm{d}: tx_used={} tx_poll={} rx_used={} rx_poll={}",
+                    dimm.sram.used(Dir::Tx),
+                    dimm.sram.poll_flag(Dir::Tx),
+                    dimm.sram.used(Dir::Rx),
+                    dimm.sram.poll_flag(Dir::Rx),
+                ),
+            );
+            let (tx_busy, rx_busy, txq, _, _, staged, pending) = dimm.debug_state();
+            r.line(
+                "dimm drivers",
+                format!(
+                    "dimm{d}: tx_busy={tx_busy} rx_busy={rx_busy} tx_queue={txq} \
+                     staged={staged} pending_jobs={pending}"
+                ),
+            );
+            for line in dimm.node.runner.stalled_procs() {
+                r.line("dimm procs", format!("dimm{d}: {line}"));
+            }
+            for line in dimm.node.stack.socket_states() {
+                r.line("dimm sockets", format!("dimm{d}: {line}"));
+            }
+        }
+        r.line(
+            "driver jobs",
+            format!(
+                "host pending={} stalled_dma={} effects_queued={}",
+                self.hdrv.pending.len(),
+                self.stalled.len(),
+                self.effects.len(),
+            ),
+        );
+        r
+    }
+
     fn poll_core(&self, channel: u32) -> usize {
         if self.sys.host_cores > self.sys.host_channels as usize {
             self.sys.host_cores - 1 - channel as usize
@@ -431,17 +592,28 @@ impl McnSystem {
         assert!(t >= self.now, "time must not go backwards");
         self.now = t;
         for round in 0.. {
-            assert!(round < 100_000, "system advance did not converge");
+            if round >= 100_000 {
+                panic!("{}", self.stall_report("system advance did not converge"));
+            }
             if round > 0 && round % 1000 == 0 && std::env::var("MCN_SYS_DEBUG").is_ok() {
                 eprintln!("advance({t}) round {round}");
             }
             let mut changed = false;
 
             // 1. Host memory-job completions → driver ops (NIC DMA jobs
-            // belong to the rack orchestrator).
+            // belong to the rack orchestrator). Errors are counted and the
+            // run continues — fault injection can legitimately produce them.
             for (waiter, job) in self.host.advance_mem(t) {
                 if waiter == HOST_DRV_WAITER {
-                    self.on_host_job(job, t);
+                    match self.on_host_job(job, t) {
+                        Ok(()) => {}
+                        Err(McnError::UnknownJob { .. }) => {
+                            self.hdrv.stats.unknown_jobs.inc()
+                        }
+                        Err(McnError::RingFull { .. }) => {
+                            self.hdrv.stats.ring_full_drops.inc()
+                        }
+                    }
                 } else {
                     self.foreign_jobs.push((waiter, job));
                 }
@@ -455,9 +627,24 @@ impl McnSystem {
                     match sig {
                         DimmSignal::TxPollRaised(at) => {
                             if self.cfg.alert_interrupt {
+                                if self.alert_faults.fires(FaultKind::Drop, t) {
+                                    // Lost interrupt edge: nothing is
+                                    // scheduled; the fallback poller (armed
+                                    // iff alert faults are active) finds the
+                                    // pending ring data later.
+                                    self.hdrv.stats.alerts_dropped.inc();
+                                    continue;
+                                }
+                                let mut latency = self.sys.alert_latency;
+                                if self.alert_faults.fires(FaultKind::Delay, t) {
+                                    self.hdrv.stats.alerts_delayed.inc();
+                                    latency += SimTime::from_us(
+                                        1 + self.alert_faults.rng().next_below(4),
+                                    );
+                                }
                                 let channel = self.dimms[d].channel();
                                 self.effects.schedule(
-                                    (at + self.sys.alert_latency).max(t),
+                                    (at + latency).max(t),
                                     Effect::HostAlert { channel },
                                 );
                             }
@@ -525,42 +712,12 @@ impl McnSystem {
                 self.try_port_tx(port, now);
             }
             Effect::TryPortTx { port } => self.try_port_tx(port, now),
-            Effect::StartTxCopy { port, frame } => {
-                let bytes = frame.encode().len() as u64 + 4 + 64; // msg + ctrl line
-                let src = self.scratch_addr(bytes);
-                let p = &self.hdrv.ports[port];
-                // CPU copies to uncached/WC windows sustain limited
-                // memory-level parallelism; the MCN-DMA engine pipelines
-                // deeply (the mcn5 gain).
-                let mlp = if self.cfg.dma { 16 } else { 4 };
-                let job = self.host.mem.start_with_mlp(
-                    Transfer::Copy {
-                        src: Pattern::dram(src),
-                        dst: Pattern {
-                            start: p.sram_base,
-                            stride: p.sram_stride,
-                            target: Target::Sram,
-                        },
-                        bytes,
-                    },
-                    HOST_DRV_WAITER,
-                    mlp,
-                    now,
-                );
-                self.hdrv.pending.insert(
-                    job.0,
-                    HostOp::TxCopy {
-                        port,
-                        frame,
-                        started: now,
-                    },
-                );
-            }
+            Effect::StartTxCopy { port, frame } => self.issue_tx_copy(port, frame, now, 0),
             Effect::PollFire { channel } => {
                 self.hdrv.stats.polls.inc();
                 let core = self.poll_core(channel);
                 let (_, end) = self.host.cpus.run_on(core, now, self.host.cost.hrtimer());
-                self.issue_poll_checks(channel, end);
+                self.issue_poll_checks(channel, end, false);
                 // Pace the next poll by the core, not just the timer: a
                 // busy core takes its timer interrupt late, it does not
                 // accumulate an unbounded backlog of polling work.
@@ -571,8 +728,17 @@ impl McnSystem {
                 self.hdrv.stats.alerts.inc();
                 let core = self.poll_core(channel);
                 let (_, end) = self.host.cpus.run_on(core, now, self.host.cost.irq());
-                self.issue_poll_checks(channel, end);
+                self.issue_poll_checks(channel, end, false);
             }
+            Effect::FallbackPoll { channel } => {
+                self.hdrv.stats.fallback_polls.inc();
+                let core = self.poll_core(channel);
+                let (_, end) = self.host.cpus.run_on(core, now, self.host.cost.hrtimer());
+                self.issue_poll_checks(channel, end, true);
+                let next = (now + self.sys.poll_interval * FALLBACK_POLL_MULT).max(end);
+                self.effects.schedule(next, Effect::FallbackPoll { channel });
+            }
+            Effect::DmaWatchdog { key } => self.on_dma_watchdog(key, now),
             Effect::StartHostRx { port } => self.start_host_rx(port, now),
             Effect::HostDeliver { ifidx, frame } => {
                 if frame.ethertype == mcn_net::EtherType::Other(crate::dimm::DIRECT_ETHERTYPE) {
@@ -594,7 +760,7 @@ impl McnSystem {
     }
 
     /// One uncached `tx-poll` line read per DIMM on the channel.
-    fn issue_poll_checks(&mut self, channel: u32, at: SimTime) {
+    fn issue_poll_checks(&mut self, channel: u32, at: SimTime, via_fallback: bool) {
         let core = self.poll_core(channel);
         for port in self.hdrv.ports_on_channel(channel) {
             self.host
@@ -614,7 +780,88 @@ impl McnSystem {
                 HOST_DRV_WAITER,
                 at,
             );
-            self.hdrv.pending.insert(job.0, HostOp::PollCheck { port });
+            self.hdrv
+                .pending
+                .insert(job.0, HostOp::PollCheck { port, via_fallback });
+        }
+    }
+
+    /// Issues the `memcpy_to_mcn` job for one frame, or parks it behind the
+    /// watchdog if the DMA descriptor stalls. `attempt` 0 is the normal
+    /// path; the watchdog re-enters with higher attempts, and once the
+    /// retry budget is spent the transfer degrades to a CPU copy.
+    fn issue_tx_copy(&mut self, port: usize, frame: EthernetFrame, now: SimTime, attempt: u32) {
+        if self.cfg.dma
+            && attempt < DMA_MAX_ATTEMPTS
+            && self.dma_faults.fires(FaultKind::Stall, now)
+        {
+            self.hdrv.stats.dma_stalls.inc();
+            let key = self.stall_seq;
+            self.stall_seq += 1;
+            self.stalled.insert(key, StalledOp::Tx { port, frame, attempt });
+            // Exponential backoff: each retry doubles the deadline.
+            let deadline = self.sys.dma_watchdog_deadline * (1u64 << attempt);
+            self.effects.schedule(now + deadline, Effect::DmaWatchdog { key });
+            return;
+        }
+        let cpu_fallback = self.cfg.dma && attempt >= DMA_MAX_ATTEMPTS;
+        let bytes = frame.encode().len() as u64 + 4 + 64; // msg + ctrl line
+        let src = self.scratch_addr(bytes);
+        let p = &self.hdrv.ports[port];
+        let (sram_base, sram_stride, core) = (p.sram_base, p.sram_stride, p.core);
+        // CPU copies to uncached/WC windows sustain limited memory-level
+        // parallelism; the MCN-DMA engine pipelines deeply (the mcn5 gain).
+        // A transfer that exhausted its DMA retries runs as a CPU copy —
+        // slower, but it completes.
+        let start = if cpu_fallback {
+            self.hdrv.stats.dma_fallbacks.inc();
+            let (_, end) =
+                self.host
+                    .cpus
+                    .run_on(core, now, self.host.cost.sram_write_copy(bytes as usize));
+            end
+        } else {
+            now
+        };
+        let mlp = if self.cfg.dma && !cpu_fallback { 16 } else { 4 };
+        let job = self.host.mem.start_with_mlp(
+            Transfer::Copy {
+                src: Pattern::dram(src),
+                dst: Pattern {
+                    start: sram_base,
+                    stride: sram_stride,
+                    target: Target::Sram,
+                },
+                bytes,
+            },
+            HOST_DRV_WAITER,
+            mlp,
+            start,
+        );
+        self.hdrv.pending.insert(
+            job.0,
+            HostOp::TxCopy {
+                port,
+                frame,
+                started: now,
+            },
+        );
+    }
+
+    /// A watchdog deadline fired: the parked transfer is retried (the
+    /// descriptor is re-issued) or, out of retries, degraded to a CPU copy.
+    fn on_dma_watchdog(&mut self, key: u64, now: SimTime) {
+        let Some(op) = self.stalled.remove(&key) else {
+            return; // already recovered
+        };
+        self.hdrv.stats.dma_retries.inc();
+        match op {
+            StalledOp::Tx { port, frame, attempt } => {
+                self.issue_tx_copy(port, frame, now, attempt + 1);
+            }
+            StalledOp::Rx { port, attempt } => {
+                self.issue_rx_copy(port, now, attempt + 1);
+            }
         }
     }
 
@@ -654,21 +901,45 @@ impl McnSystem {
         if p.rx_busy {
             return;
         }
-        let used = self.dimms[p.dimm].sram.used(Dir::Tx) as u64;
-        if used == 0 {
+        if self.dimms[p.dimm].sram.used(Dir::Tx) == 0 {
             return;
         }
         p.rx_busy = true;
+        self.issue_rx_copy(port, now, 0);
+    }
+
+    /// Issues the `memcpy_from_mcn` drain of a TX ring (the port's
+    /// `rx_busy` must already be held), parking it behind the watchdog on
+    /// a DMA stall — same retry/degrade policy as the transmit side.
+    fn issue_rx_copy(&mut self, port: usize, now: SimTime, attempt: u32) {
+        if self.cfg.dma
+            && attempt < DMA_MAX_ATTEMPTS
+            && self.dma_faults.fires(FaultKind::Stall, now)
+        {
+            self.hdrv.stats.dma_stalls.inc();
+            let key = self.stall_seq;
+            self.stall_seq += 1;
+            self.stalled.insert(key, StalledOp::Rx { port, attempt });
+            let deadline = self.sys.dma_watchdog_deadline * (1u64 << attempt);
+            self.effects.schedule(now + deadline, Effect::DmaWatchdog { key });
+            return;
+        }
+        let cpu_fallback = self.cfg.dma && attempt >= DMA_MAX_ATTEMPTS;
+        let p = &self.hdrv.ports[port];
+        let used = self.dimms[p.dimm].sram.used(Dir::Tx) as u64;
         let bytes = used + 64; // + control line
         let sram_base = p.sram_base;
         let sram_stride = p.sram_stride;
         let channel = p.channel;
         let dst = self.scratch_addr(bytes);
-        // memcpy_from_mcn CPU issue work (skipped under MCN-DMA); the copy
-        // job starts once the core gets to it.
-        let start = if self.cfg.dma {
+        // memcpy_from_mcn CPU issue work (skipped under working MCN-DMA);
+        // the copy job starts once the core gets to it.
+        let start = if self.cfg.dma && !cpu_fallback {
             now
         } else {
+            if cpu_fallback {
+                self.hdrv.stats.dma_fallbacks.inc();
+            }
             let core = self.poll_core(channel);
             let (_, end) = self
                 .host
@@ -676,7 +947,7 @@ impl McnSystem {
                 .run_on(core, now, self.host.cost.sram_read_copy(bytes as usize));
             end
         };
-        let mlp = if self.cfg.dma { 16 } else { 4 };
+        let mlp = if self.cfg.dma && !cpu_fallback { 16 } else { 4 };
         let job = self.host.mem.start_with_mlp(
             Transfer::Copy {
                 src: Pattern {
@@ -696,11 +967,16 @@ impl McnSystem {
             .insert(job.0, HostOp::RxCopy { port, started: now });
     }
 
-    fn on_host_job(&mut self, job: JobId, now: SimTime) {
+    fn on_host_job(&mut self, job: JobId, now: SimTime) -> Result<(), McnError> {
         match self.hdrv.pending.remove(&job.0) {
-            Some(HostOp::PollCheck { port }) => {
+            Some(HostOp::PollCheck { port, via_fallback }) => {
                 let d = self.hdrv.ports[port].dimm;
                 if self.dimms[d].sram.poll_flag(Dir::Tx) && !self.hdrv.ports[port].rx_busy {
+                    if via_fallback {
+                        // Pending TX data with no alert in flight: a dropped
+                        // ALERT_N that would have hung the ring forever.
+                        self.hdrv.stats.alert_recoveries.inc();
+                    }
                     self.start_host_rx(port, now);
                 }
             }
@@ -712,14 +988,30 @@ impl McnSystem {
                 let p = &mut self.hdrv.ports[port];
                 let d = p.dimm;
                 p.tx_busy = false;
-                self.dimms[d]
-                    .sram
-                    .push(Dir::Rx, &frame.encode())
-                    .expect("space was checked; host is the only RX producer");
+                self.effects.schedule(now, Effect::TryPortTx { port });
+                // The write into the interface SRAM is the injection point
+                // for memory-channel faults: a lost frame, or an
+                // ECC-escaped bit flip landing in ring *data* bytes (the
+                // checksum-bypass exposure; the 4-byte length prefix is
+                // written by the ring itself and stays intact).
+                if self.sram_faults[d].fires(FaultKind::Drop, now) {
+                    self.hdrv.stats.frames_dropped.inc();
+                    return Ok(());
+                }
+                let mut encoded = frame.encode();
+                if self.sram_faults[d].fires(FaultKind::BitFlip, now) {
+                    self.sram_faults[d].flip_bit(&mut encoded);
+                    self.hdrv.stats.ecc_escapes.inc();
+                }
+                if self.dimms[d].sram.push(Dir::Rx, &encoded).is_err() {
+                    return Err(McnError::RingFull {
+                        side: McnSide::Host,
+                        len: encoded.len(),
+                    });
+                }
                 self.hdrv.stats.tx_frames.inc();
                 self.hdrv.stats.driver_tx.record(now.saturating_sub(started));
                 self.effects.schedule(now, Effect::DimmIrq { dimm: d });
-                self.effects.schedule(now, Effect::TryPortTx { port });
             }
             Some(HostOp::RxCopy { port, started }) => {
                 let channel = self.hdrv.ports[port].channel;
@@ -732,6 +1024,9 @@ impl McnSystem {
                 let sw_csum = !self.cfg.checksum_bypass;
                 for msg in msgs {
                     let Ok(frame) = EthernetFrame::decode(&msg) else {
+                        // Undecodable ring message (possible under injected
+                        // corruption): count and drop.
+                        self.hdrv.stats.malformed.inc();
                         continue;
                     };
                     self.hdrv.stats.rx_frames.inc();
@@ -779,8 +1074,14 @@ impl McnSystem {
                     self.effects.schedule(now, Effect::StartHostRx { port });
                 }
             }
-            None => panic!("completion for unknown host driver job {job:?}"),
+            None => {
+                return Err(McnError::UnknownJob {
+                    job,
+                    side: McnSide::Host,
+                })
+            }
         }
+        Ok(())
     }
 
     /// Delivers a frame that arrived from outside (another server's host,
@@ -1029,9 +1330,155 @@ mod tests {
                 got.extend_from_slice(&buf[..n]);
             }
             guard += 1;
-            assert!(guard < 20_000, "transfer stalled at {} bytes", got.len());
+            assert!(
+                guard < 20_000,
+                "transfer stalled at {} bytes\n{}",
+                got.len(),
+                sys.stall_report("tcp transfer stalled")
+            );
         }
         assert_eq!(got, data, "byte-exact delivery over the memory channel");
+    }
+
+    #[test]
+    fn dropped_alerts_recovered_by_fallback_poller() {
+        use mcn_sim::fault::{FaultKind, FaultPlan};
+        // Every ALERT_N edge is lost; without the fallback poller the TX
+        // ring data would sit forever (mcn1 has no HR-timer poller).
+        let mut plan = FaultPlan::new(17);
+        plan.rate(
+            &McnSystem::alert_fault_component(0),
+            FaultKind::Drop,
+            1.0,
+        );
+        let mut sys = McnSystem::with_faults(
+            &SystemConfig::default(),
+            1,
+            McnConfig::level(1),
+            &plan,
+        );
+        let uh = sys.host.stack.udp_bind(5000).unwrap();
+        let ud = sys.dimm_mut(0).node.stack.udp_bind(6000).unwrap();
+        sys.dimm_mut(0)
+            .node
+            .stack
+            .udp_send(
+                ud,
+                McnSystem::host_if_ip(0),
+                5000,
+                Bytes::from(vec![4u8; 500]),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        sys.run_until(SimTime::from_us(500));
+        assert!(
+            sys.host.stack.udp_recv(uh).is_some(),
+            "fallback poller must deliver despite 100% alert loss\n{}",
+            sys.stall_report("alert-drop recovery failed")
+        );
+        assert!(sys.hdrv.stats.alerts_dropped.get() > 0);
+        assert!(sys.hdrv.stats.fallback_polls.get() > 0);
+        assert!(sys.hdrv.stats.alert_recoveries.get() > 0);
+        assert_eq!(sys.hdrv.stats.alerts.get(), 0, "all edges were dropped");
+        assert_eq!(sys.hdrv.stats.polls.get(), 0, "mcn1 HR-timer stays off");
+    }
+
+    #[test]
+    fn fault_free_alert_runs_never_arm_the_fallback_poller() {
+        let mut sys = mk(1, 1);
+        sys.run_until(SimTime::from_ms(1));
+        assert_eq!(sys.hdrv.stats.fallback_polls.get(), 0);
+    }
+
+    #[test]
+    fn dma_stalls_retry_then_degrade_to_cpu_copy() {
+        use mcn_sim::fault::{FaultKind, FaultPlan};
+        // Every DMA descriptor stalls: each transfer burns its full retry
+        // budget and completes via the CPU-copy path instead of hanging.
+        let mut plan = FaultPlan::new(23);
+        plan.rate(&McnSystem::dma_fault_component(0), FaultKind::Stall, 1.0);
+        let mut sys = McnSystem::with_faults(
+            &SystemConfig::default(),
+            1,
+            McnConfig::level(5),
+            &plan,
+        );
+        let dimm_ip = sys.dimm_ip(0);
+        let ud = sys.dimm_mut(0).node.stack.udp_bind(6000).unwrap();
+        sys.host.stack.udp_bind(5000).unwrap();
+        let us = sys.host.stack.udp_bind(5001).unwrap();
+        sys.host
+            .stack
+            .udp_send(us, dimm_ip, 6000, Bytes::from(vec![9u8; 1000]), SimTime::ZERO)
+            .unwrap();
+        sys.run_until(SimTime::from_ms(2));
+        assert!(
+            sys.dimm_mut(0).node.stack.udp_recv(ud).is_some(),
+            "transfer must complete via CPU fallback\n{}",
+            sys.stall_report("dma-stall recovery failed")
+        );
+        assert!(sys.hdrv.stats.dma_stalls.get() > 0);
+        assert!(sys.hdrv.stats.dma_retries.get() > 0);
+        assert!(sys.hdrv.stats.dma_fallbacks.get() > 0);
+    }
+
+    #[test]
+    fn sram_faults_are_counted_and_survived() {
+        use mcn_sim::fault::{FaultKind, FaultPlan};
+        // Host→DIMM pushes suffer heavy loss and corruption; UDP loses
+        // datagrams but the system must neither panic nor wedge, and every
+        // injected fault must be accounted.
+        let mut plan = FaultPlan::new(29);
+        plan.rate(
+            &McnSystem::sram_host_fault_component(0, 0),
+            FaultKind::Drop,
+            0.3,
+        );
+        plan.rate(
+            &McnSystem::sram_host_fault_component(0, 0),
+            FaultKind::BitFlip,
+            0.3,
+        );
+        let mut sys = McnSystem::with_faults(
+            &SystemConfig::default(),
+            1,
+            McnConfig::level(0),
+            &plan,
+        );
+        let dimm_ip = sys.dimm_ip(0);
+        sys.dimm_mut(0).node.stack.udp_bind(6000).unwrap();
+        let us = sys.host.stack.udp_bind(5000).unwrap();
+        for i in 0..40 {
+            let now = sys.now();
+            sys.host
+                .stack
+                .udp_send(us, dimm_ip, 6000, Bytes::from(vec![i as u8; 600]), now)
+                .unwrap();
+            sys.run_until(now + SimTime::from_us(50));
+        }
+        let dropped = sys.hdrv.stats.frames_dropped.get();
+        let flipped = sys.hdrv.stats.ecc_escapes.get();
+        assert!(dropped > 0, "expected injected drops");
+        assert!(flipped > 0, "expected injected bit flips");
+        // Conservation: every accepted frame was pushed or counted dropped.
+        assert_eq!(sys.hdrv.stats.tx_frames.get() + dropped, 40);
+    }
+
+    #[test]
+    fn stall_report_names_the_blockage() {
+        let mut sys = mk(1, 0);
+        let _l = sys.dimm_mut(0).node.stack.tcp_listen(5001).unwrap();
+        let _c = sys
+            .host
+            .stack
+            .tcp_connect(sys.dimm_ip(0), 5001, SimTime::ZERO)
+            .unwrap();
+        sys.run_until(SimTime::from_us(100));
+        let report = sys.stall_report("probe").to_string();
+        assert!(report.contains("probe"), "{report}");
+        assert!(report.contains("host sockets"), "{report}");
+        assert!(report.contains("tcp"), "{report}");
+        assert!(report.contains("rings"), "{report}");
     }
 
     #[test]

@@ -244,10 +244,7 @@ impl Pinger {
 impl Process for Pinger {
     fn poll(&mut self, ctx: &mut ProcCtx<'_>) -> Poll {
         // Collect any replies addressed to us.
-        loop {
-            let Some((_, ident, _seq, _len)) = ctx.stack.pop_ping_reply() else {
-                break;
-            };
+        while let Some((_, ident, _seq, _len)) = ctx.stack.pop_ping_reply() {
             if ident != self.ident {
                 continue; // some other prober's reply
             }

@@ -23,7 +23,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use mcn_node::mem::Access;
-use mcn_node::{JobId, Poll, ProcCtx, Process, Wake};
+use mcn_node::{Poll, ProcCtx, Process, Wake};
 use mcn_sim::{DetRng, SimTime};
 
 use crate::mpi::{Alltoall, Barrier, MpiRank};
@@ -128,7 +128,7 @@ impl MapReduceReport {
 enum Phase {
     /// Scan the input split (CPU + memory traffic), then map.
     Map,
-    WaitScan(JobId),
+    WaitScan,
     /// Exchange partitioned counts.
     Shuffle(Alltoall),
     /// Merge, verify, barrier out.
@@ -205,10 +205,10 @@ impl Process for MapReduceWorker {
                     // Its honest cost: CPU scan time + streaming the split.
                     ctx.compute(SimTime::from_ns_f64(SCAN_NS_PER_BYTE * bytes as f64));
                     let job = ctx.mem_stream(self.mem_base, bytes.max(4096), 0.95, Access::Seq);
-                    self.phase = Phase::WaitScan(job);
+                    self.phase = Phase::WaitScan;
                     return Poll::Wait(vec![Wake::Job(job)]);
                 }
-                Phase::WaitScan(_) => {
+                Phase::WaitScan => {
                     let size = self.mpi.size();
                     let counts = self.counts.as_ref().expect("mapped");
                     let payloads: Vec<Vec<u8>> =

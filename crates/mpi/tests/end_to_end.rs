@@ -26,8 +26,8 @@ fn allreduce_workload_on_mcn_server() {
     let report = spawn_on_mcn(&mut sys, small_spec(), 2, 1, 42);
     assert!(
         sys.run_until_procs_done(SimTime::from_ms(200)),
-        "workload must finish; stalled at {}",
-        sys.now()
+        "workload must finish\n{}",
+        sys.stall_report("allreduce on MCN stalled")
     );
     let r = report.lock();
     assert!(r.verified, "allreduce numeric verification failed");
@@ -40,8 +40,8 @@ fn allreduce_workload_on_cluster() {
     let report = spawn_on_cluster(&mut c, small_spec(), 2, 42);
     assert!(
         c.run_until_procs_done(SimTime::from_ms(200)),
-        "workload must finish; stalled at {}",
-        c.now()
+        "workload must finish\n{}",
+        c.stall_report("allreduce on cluster stalled")
     );
     let r = report.lock();
     assert!(r.verified);
@@ -55,8 +55,8 @@ fn scale_up_loopback_workload() {
     let report = spawn_on_mcn(&mut sys, small_spec(), 4, 0, 7);
     assert!(
         sys.run_until_procs_done(SimTime::from_ms(200)),
-        "loopback workload must finish; stalled at {}",
-        sys.now()
+        "loopback workload must finish\n{}",
+        sys.stall_report("loopback workload stalled")
     );
     assert!(report.lock().verified);
 }
@@ -69,12 +69,20 @@ fn alltoall_workload_both_systems() {
     };
     let mut sys = McnSystem::new(&SystemConfig::default(), 2, McnConfig::level(5));
     let report = spawn_on_mcn(&mut sys, spec, 1, 1, 3);
-    assert!(sys.run_until_procs_done(SimTime::from_ms(500)), "mcn stalled at {}", sys.now());
+    assert!(
+        sys.run_until_procs_done(SimTime::from_ms(500)),
+        "{}",
+        sys.stall_report("alltoall on MCN stalled")
+    );
     assert!(report.lock().verified, "alltoall payloads corrupted on MCN");
 
     let mut c = EthernetCluster::new(&SystemConfig::default(), 2);
     let report = spawn_on_cluster(&mut c, spec, 2, 3);
-    assert!(c.run_until_procs_done(SimTime::from_ms(500)), "cluster stalled at {}", c.now());
+    assert!(
+        c.run_until_procs_done(SimTime::from_ms(500)),
+        "{}",
+        c.stall_report("alltoall on cluster stalled")
+    );
     assert!(report.lock().verified, "alltoall payloads corrupted on cluster");
 }
 
@@ -89,8 +97,8 @@ fn irregular_and_neighbor_workloads_on_mcn() {
         let report = spawn_on_mcn(&mut sys, spec, 1, 1, 11);
         assert!(
             sys.run_until_procs_done(SimTime::from_ms(500)),
-            "{comm:?} stalled at {}",
-            sys.now()
+            "{comm:?} stalled\n{}",
+            sys.stall_report("irregular/neighbor workload stalled")
         );
         assert!(report.lock().completion().is_some());
     }
@@ -114,8 +122,8 @@ fn iperf_host_to_mcn() {
     );
     assert!(
         sys.run_until_procs_done(SimTime::from_secs(2)),
-        "iperf must finish; stalled at {}",
-        sys.now()
+        "iperf must finish\n{}",
+        sys.stall_report("iperf host-to-mcn stalled")
     );
     let s = srv.lock();
     assert!(s.done);

@@ -35,8 +35,9 @@ impl Ord for InFlight {
     }
 }
 
+use mcn_sim::fault::{FaultInjector, FaultKind, FaultPlan};
 use mcn_sim::stats::Counter;
-use mcn_sim::{DetRng, SimTime};
+use mcn_sim::SimTime;
 
 use crate::{EthernetFrame, MacAddr};
 
@@ -51,15 +52,15 @@ pub struct Link {
     tx_free: SimTime,
     in_flight: BinaryHeap<Reverse<InFlight>>,
     seq: u64,
-    drop_rate: f64,
-    corrupt_rate: f64,
-    rng: DetRng,
+    faults: FaultInjector,
     /// Frames accepted for transmission.
     pub sent: Counter,
     /// Frames dropped by injected loss.
     pub dropped: Counter,
     /// Frames corrupted by injected bit errors.
     pub corrupted: Counter,
+    /// Frames delivered late by injected delay.
+    pub delayed: Counter,
     /// Bytes accepted for transmission.
     pub bytes: Counter,
 }
@@ -74,12 +75,11 @@ impl Link {
             tx_free: SimTime::ZERO,
             in_flight: BinaryHeap::new(),
             seq: 0,
-            drop_rate: 0.0,
-            corrupt_rate: 0.0,
-            rng: DetRng::new(0),
+            faults: FaultInjector::none(),
             sent: Counter::default(),
             dropped: Counter::default(),
             corrupted: Counter::default(),
+            delayed: Counter::default(),
             bytes: Counter::default(),
         }
     }
@@ -89,13 +89,23 @@ impl Link {
         Link::new(1.25e9, SimTime::from_us(1))
     }
 
-    /// Enables random frame loss and corruption with the given
-    /// probabilities (per frame), seeded deterministically.
-    pub fn with_impairments(mut self, drop_rate: f64, corrupt_rate: f64, seed: u64) -> Self {
-        self.drop_rate = drop_rate;
-        self.corrupt_rate = corrupt_rate;
-        self.rng = DetRng::new(seed);
+    /// Attaches a fault injector (usually carved out of a system-wide
+    /// [`FaultPlan`] so the whole run replays from one seed). The link
+    /// queries `Drop`, `BitFlip` and `Delay` per frame.
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = faults;
         self
+    }
+
+    /// Enables random frame loss and corruption with the given
+    /// probabilities (per frame), seeded deterministically. Thin wrapper
+    /// over [`with_faults`](Self::with_faults) with a single-component
+    /// plan named `"link"`.
+    pub fn with_impairments(self, drop_rate: f64, corrupt_rate: f64, seed: u64) -> Self {
+        let mut plan = FaultPlan::new(seed);
+        plan.rate("link", FaultKind::Drop, drop_rate);
+        plan.rate("link", FaultKind::BitFlip, corrupt_rate);
+        self.with_faults(plan.injector("link"))
     }
 
     /// Queues a frame for transmission at `now`. Serialization delay at
@@ -105,20 +115,27 @@ impl Link {
     pub fn send(&mut self, frame: EthernetFrame, now: SimTime) {
         self.sent.inc();
         self.bytes.add(frame.wire_len() as u64);
-        if self.rng.chance(self.drop_rate) {
+        if self.faults.fires(FaultKind::Drop, now) {
             self.dropped.inc();
             return;
         }
-        let frame = if self.rng.chance(self.corrupt_rate) {
+        let frame = if self.faults.fires(FaultKind::BitFlip, now) {
             self.corrupted.inc();
             self.corrupt(frame)
         } else {
             frame
         };
+        let extra = if self.faults.fires(FaultKind::Delay, now) {
+            self.delayed.inc();
+            // 1–8 µs of extra propagation, drawn from the fault stream.
+            SimTime::from_us(1 + self.faults.rng().next_below(8))
+        } else {
+            SimTime::ZERO
+        };
         let start = self.tx_free.max(now);
         let ser = SimTime::for_bytes(frame.wire_len() as u64, self.bytes_per_sec);
         self.tx_free = start + ser;
-        let arrival = self.tx_free + self.latency;
+        let arrival = self.tx_free + self.latency + extra;
         self.seq += 1;
         self.in_flight.push(Reverse(InFlight {
             at: arrival,
@@ -129,11 +146,7 @@ impl Link {
 
     fn corrupt(&mut self, frame: EthernetFrame) -> EthernetFrame {
         let mut bytes = frame.encode();
-        if !bytes.is_empty() {
-            let idx = self.rng.next_below(bytes.len() as u64) as usize;
-            let bit = self.rng.next_below(8) as u8;
-            bytes[idx] ^= 1 << bit;
-        }
+        self.faults.flip_bit(&mut bytes);
         let mut out = EthernetFrame::decode(&bytes).unwrap_or(frame);
         out.fcs_ok = false; // the receiving MAC's CRC check will fail
         out

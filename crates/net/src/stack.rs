@@ -140,6 +140,10 @@ pub struct StackStats {
     pub drop_not_local: Counter,
     /// Packets dropped: no matching socket.
     pub drop_no_socket: Counter,
+    /// Packets dropped: structurally malformed (undecodable header, bad
+    /// lengths, truncation) — distinct from checksum failures on
+    /// well-formed packets.
+    pub malformed: Counter,
     /// ICMP echo requests answered.
     pub echo_replies: Counter,
 }
@@ -420,6 +424,40 @@ impl NetStack {
         }
     }
 
+    /// One formatted line per live socket (listeners, connections, UDP
+    /// binds) for stall diagnostics; closed slots are skipped.
+    pub fn socket_states(&self) -> Vec<String> {
+        self.sockets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Socket::TcpListener { port, pending } => Some(format!(
+                    "sock{i} tcp-listen :{port} ({} pending)",
+                    pending.len()
+                )),
+                Socket::Tcp { conn, .. } => Some(format!(
+                    "sock{i} tcp {}:{} -> {}:{} {:?} cwnd={} in_flight={} \
+                     snd_wnd={} unsent={} ({} readable) rtx_at={:?}",
+                    conn.local().0,
+                    conn.local().1,
+                    conn.remote().0,
+                    conn.remote().1,
+                    conn.state(),
+                    conn.cwnd(),
+                    conn.in_flight(),
+                    conn.snd_wnd(),
+                    conn.unsent(),
+                    conn.readable(),
+                    conn.next_timer()
+                )),
+                Socket::Udp { port, rx } => {
+                    Some(format!("sock{i} udp :{port} ({} queued)", rx.len()))
+                }
+                Socket::Closed => None,
+            })
+            .collect()
+    }
+
     /// Bytes readable right now.
     pub fn tcp_readable(&self, sock: SockId) -> usize {
         match self.sockets.get(sock.0) {
@@ -587,7 +625,12 @@ impl NetStack {
     /// Delivers a received frame to the stack.
     pub fn on_frame(&mut self, ifidx: usize, frame: EthernetFrame, now: SimTime) {
         self.stats.frames_in.inc();
-        let iface = &self.ifaces[ifidx];
+        let Some(iface) = self.ifaces.get(ifidx) else {
+            // A corrupted descriptor or buggy driver can hand us a frame
+            // for an interface that does not exist; count, don't panic.
+            self.stats.malformed.inc();
+            return;
+        };
         if frame.dst != iface.cfg.mac && !frame.dst.is_broadcast() {
             self.stats.drop_l2.inc();
             return;
@@ -596,7 +639,7 @@ impl NetStack {
             return;
         }
         let Ok(pkt) = Ipv4Packet::decode(&frame.payload) else {
-            self.stats.drop_checksum.inc();
+            self.stats.malformed.inc();
             return;
         };
         if self.ifaces[ifidx].cfg.rx_checksum && !pkt.checksum_ok {
@@ -625,6 +668,7 @@ impl NetStack {
 
     fn deliver_icmp(&mut self, ifidx: usize, pkt: &Ipv4Packet, now: SimTime) {
         let Ok(msg) = IcmpMessage::decode(&pkt.payload) else {
+            self.stats.malformed.inc();
             return;
         };
         if self.ifaces[ifidx].cfg.rx_checksum && !msg.checksum_ok {
@@ -654,6 +698,7 @@ impl NetStack {
 
     fn deliver_udp(&mut self, _ifidx: usize, pkt: &Ipv4Packet, _now: SimTime) {
         let Ok(dg) = UdpDatagram::decode(&pkt.payload, pkt.src, pkt.dst) else {
+            self.stats.malformed.inc();
             return;
         };
         if !dg.checksum_ok {
@@ -673,6 +718,7 @@ impl NetStack {
     fn deliver_tcp(&mut self, ifidx: usize, pkt: &Ipv4Packet, now: SimTime) {
         let verify = self.ifaces[ifidx].cfg.rx_checksum;
         let Ok(seg) = TcpSegment::decode(&pkt.payload, pkt.src, pkt.dst, verify) else {
+            self.stats.malformed.inc();
             return;
         };
         if !seg.checksum_ok {

@@ -1232,8 +1232,10 @@ mod tests {
 
     #[test]
     fn tso_emits_large_segments() {
-        let mut cfg = TcpConfig::default();
-        cfg.tso_max = 64 * 1024;
+        let cfg = TcpConfig {
+            tso_max: 64 * 1024,
+            ..TcpConfig::default()
+        };
         let mut h = Harness::new(cfg, SimTime::from_us(10), 0.0);
         h.run_until(|h| h.a.state() == TcpState::Established, 50);
         // Pre-grow cwnd by transferring some data first.

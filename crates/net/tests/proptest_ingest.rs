@@ -1,0 +1,116 @@
+//! Property test: the stack's ingest path survives byte soup.
+//!
+//! The MCN data path can deliver corrupted frames to the stack (the memory
+//! channel's ECC escapes, the fault injector's bit flips, a buggy peer).
+//! Whatever arrives, `EthernetFrame::decode` and `NetStack::on_frame` must
+//! never panic — garbage is dropped and *counted* (`malformed`,
+//! `drop_checksum`, `drop_not_local`), the simulation keeps running.
+
+use bytes::Bytes;
+use mcn_net::tcp::TcpConfig;
+use mcn_net::{EthernetFrame, MacAddr, NetConfig, NetStack};
+use mcn_sim::SimTime;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn mk_stack() -> NetStack {
+    let mut s = NetStack::new(TcpConfig::default());
+    s.add_interface(NetConfig::ethernet(
+        MacAddr::from_id(7),
+        Ipv4Addr::new(10, 0, 0, 1),
+    ));
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Raw byte soup through the frame decoder: short buffers error, long
+    /// enough ones parse; either way, feeding the parse into a stack does
+    /// not panic.
+    #[test]
+    fn frame_decode_of_byte_soup_never_panics(
+        soup in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        match EthernetFrame::decode(&soup) {
+            Err(_) => prop_assert!(soup.len() < 14, "only sub-header buffers may fail"),
+            Ok(frame) => {
+                prop_assert!(soup.len() >= 14);
+                let mut stack = mk_stack();
+                stack.on_frame(0, frame, SimTime::ZERO);
+                // Random dst MACs rarely match; the frame is dropped or
+                // counted, never fatal. One frame in means one frame
+                // accounted for somewhere.
+                prop_assert_eq!(stack.stats.frames_in.get(), 1);
+            }
+        }
+    }
+
+    /// Garbage payloads inside structurally valid, correctly addressed
+    /// frames: the IPv4/transport decoders reject them and the stack
+    /// counts the rejection instead of panicking.
+    #[test]
+    fn addressed_garbage_is_counted_not_fatal(
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        broadcast in prop::bool::ANY,
+    ) {
+        let mut stack = mk_stack();
+        let dst = if broadcast { MacAddr::BROADCAST } else { MacAddr::from_id(7) };
+        let frame = EthernetFrame::ipv4(dst, MacAddr::from_id(9), Bytes::from(payload));
+        stack.on_frame(0, frame, SimTime::ZERO);
+        prop_assert_eq!(stack.stats.frames_in.get(), 1);
+        let s = &stack.stats;
+        let dropped = s.malformed.get()
+            + s.drop_checksum.get()
+            + s.drop_not_local.get()
+            + s.drop_no_socket.get()
+            + s.echo_replies.get();
+        prop_assert!(dropped <= 1, "at most one disposition per frame");
+    }
+
+    /// A bit-flipped but otherwise well-formed UDP datagram (the ECC-escape
+    /// shape the MCN fault injector produces) is dropped by checksum or
+    /// header validation — or, if the flip landed in the payload of a
+    /// checksum-verified packet, rejected — but never crashes ingest and
+    /// never duplicates delivery.
+    #[test]
+    fn bitflipped_udp_frames_never_panic_ingest(
+        flip_byte in 0usize..200,
+        flip_bit in 0u8..8,
+        len in 1usize..160,
+    ) {
+        let mut stack = mk_stack();
+        let u = stack.udp_bind(5000).unwrap();
+        // Build a real frame addressed to the stack, then flip one bit of
+        // its wire bytes and re-decode like the SRAM ring does.
+        let udp = mcn_net::UdpDatagram::new(6000, 5000, Bytes::from(vec![0xA5u8; len]));
+        let src = Ipv4Addr::new(10, 0, 0, 2);
+        let dst = Ipv4Addr::new(10, 0, 0, 1);
+        let ip = mcn_net::Ipv4Packet::new(
+            src,
+            dst,
+            mcn_net::IpProto::Udp,
+            1,
+            Bytes::from(udp.encode(src, dst, true)),
+        );
+        let frame = EthernetFrame::ipv4(
+            MacAddr::from_id(7),
+            MacAddr::from_id(9),
+            Bytes::from(ip.encode()),
+        );
+        let mut wire = frame.encode();
+        let at = flip_byte % wire.len();
+        wire[at] ^= 1 << flip_bit;
+        let Ok(mangled) = EthernetFrame::decode(&wire) else {
+            return Ok(()); // cannot truncate below the header by flipping
+        };
+        stack.on_frame(0, mangled, SimTime::ZERO);
+        // At most one datagram can come out, and only if the flip was
+        // harmless to addressing and checksums.
+        let mut seen = 0;
+        while stack.udp_recv(u).is_some() {
+            seen += 1;
+        }
+        prop_assert!(seen <= 1, "bit flip duplicated a datagram");
+    }
+}

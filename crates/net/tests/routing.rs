@@ -24,12 +24,7 @@ fn egress_iface(s: &mut NetStack, dst: Ipv4Addr) -> Option<usize> {
     let u = s.udp_bind(0).unwrap();
     s.udp_send(u, dst, 9, Bytes::from_static(b"x"), SimTime::ZERO)
         .ok()?;
-    for ifidx in 0..2 {
-        if s.poll_output(ifidx).is_some() {
-            return Some(ifidx);
-        }
-    }
-    None
+    (0..2).find(|&ifidx| s.poll_output(ifidx).is_some())
 }
 
 #[test]

@@ -258,6 +258,25 @@ impl ProcRunner {
             .count()
     }
 
+    /// One formatted line per unfinished process — name, core, and what it
+    /// is waiting on — for stall diagnostics when a drive loop quiesces
+    /// with live processes.
+    pub fn stalled_procs(&self) -> Vec<String> {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.state != ProcState::Done)
+            .map(|(i, e)| {
+                let state = match &e.state {
+                    ProcState::Ready => "Ready".to_string(),
+                    ProcState::Waiting(wakes) => format!("Waiting({wakes:?})"),
+                    ProcState::Done => unreachable!(),
+                };
+                format!("proc{} '{}' core{}: {}", i, e.proc.name(), e.core, state)
+            })
+            .collect()
+    }
+
     fn wake_if(&mut self, pred: impl Fn(&Wake) -> bool) {
         for (i, e) in self.procs.iter_mut().enumerate() {
             if let ProcState::Waiting(wakes) = &e.state {

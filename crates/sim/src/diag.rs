@@ -1,0 +1,120 @@
+//! Stall diagnostics.
+//!
+//! Simulation drive loops of the form `while !procs_done { advance() }`
+//! guard against livelock with iteration counters. When such a guard
+//! trips, a bare `assert!` hides everything a person needs to debug the
+//! hang: which processes are blocked, what state their sockets are in,
+//! how full the SRAM rings are. A [`StallReport`] collects that state as
+//! titled sections of lines and renders it as one readable block, so the
+//! guard can `panic!("{report}")` (or a test can print it) instead of
+//! "advance did not converge".
+
+use std::fmt;
+
+/// A structured snapshot of why a simulation appears stalled.
+///
+/// Build with [`new`](StallReport::new), append lines into named sections
+/// with [`line`](StallReport::line), and render via `Display`. Sections
+/// appear in first-insertion order; empty reports still render the title
+/// so a guard never panics with an empty message.
+#[derive(Debug, Clone)]
+pub struct StallReport {
+    title: String,
+    sections: Vec<(String, Vec<String>)>,
+}
+
+impl StallReport {
+    /// An empty report with a headline (e.g. `"cluster advance stalled"`).
+    pub fn new(title: impl Into<String>) -> Self {
+        StallReport {
+            title: title.into(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends one line under `section`, creating the section on first use.
+    pub fn line(&mut self, section: &str, text: impl Into<String>) -> &mut Self {
+        match self.sections.iter_mut().find(|(s, _)| s == section) {
+            Some((_, lines)) => lines.push(text.into()),
+            None => self.sections.push((section.to_string(), vec![text.into()])),
+        }
+        self
+    }
+
+    /// Folds another report's sections into this one, prefixing each
+    /// section name with `prefix` (e.g. `"srv0."`). The other report's
+    /// title is dropped — the composite keeps its own headline. Lets a
+    /// rack or cluster aggregate per-server reports into one block.
+    pub fn absorb(&mut self, prefix: &str, other: &StallReport) -> &mut Self {
+        for (section, lines) in &other.sections {
+            let name = format!("{prefix}{section}");
+            for l in lines {
+                self.line(&name, l.clone());
+            }
+        }
+        self
+    }
+
+    /// True if no lines have been recorded (only the title would render).
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Number of lines across all sections.
+    pub fn len(&self) -> usize {
+        self.sections.iter().map(|(_, l)| l.len()).sum()
+    }
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} ===", self.title)?;
+        for (section, lines) in &self.sections {
+            writeln!(f, "[{section}]")?;
+            for line in lines {
+                writeln!(f, "  {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_sections_in_insertion_order() {
+        let mut r = StallReport::new("system stalled");
+        r.line("procs", "rank0: Waiting([Recv])")
+            .line("rings", "dimm0 tx: 12/160KiB")
+            .line("procs", "rank1: Ready");
+        let s = r.to_string();
+        assert!(s.starts_with("=== system stalled ==="));
+        let procs_at = s.find("[procs]").unwrap();
+        let rings_at = s.find("[rings]").unwrap();
+        assert!(procs_at < rings_at);
+        assert!(s.contains("  rank1: Ready"));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn absorb_prefixes_sections_and_keeps_own_title() {
+        let mut inner = StallReport::new("srv0 stalled");
+        inner.line("procs", "rank0: Ready");
+        let mut outer = StallReport::new("rack stalled");
+        outer.absorb("srv0.", &inner);
+        let s = outer.to_string();
+        assert!(s.starts_with("=== rack stalled ==="));
+        assert!(s.contains("[srv0.procs]"));
+        assert!(s.contains("  rank0: Ready"));
+        assert!(!s.contains("srv0 stalled"));
+    }
+
+    #[test]
+    fn empty_report_still_has_a_headline() {
+        let r = StallReport::new("idle");
+        assert!(r.is_empty());
+        assert!(r.to_string().contains("idle"));
+    }
+}

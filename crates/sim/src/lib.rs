@@ -37,8 +37,12 @@ mod queue;
 mod rng;
 mod time;
 
+pub mod diag;
+pub mod fault;
 pub mod stats;
 
+pub use diag::StallReport;
+pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use queue::{EventHandle, EventQueue};
 pub use rng::DetRng;
 pub use time::SimTime;

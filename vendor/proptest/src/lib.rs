@@ -1,0 +1,533 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use as a
+//! deterministic random-sampling runner: the `proptest!` macro, range /
+//! `any` / tuple / `prop::collection::vec` / `prop::option::of` /
+//! `prop::bool::ANY` strategies, `.prop_map`, and the `prop_assert*`
+//! macros. Differences from the real crate, chosen deliberately for a
+//! hermetic offline build:
+//!
+//! - **No shrinking.** A failing case reports its inputs (via the
+//!   assertion message) and the case index, but is not minimized.
+//! - **Fixed seeding.** Case `i` of test `f` derives its RNG from
+//!   `hash(name(f)) ⊕ splitmix(i)`, so runs are bit-reproducible across
+//!   machines — which the determinism-sensitive simulator tests rely on.
+//! - Default case count is 64 (the real crate's 256 is slower than these
+//!   simulation-heavy tests want under `opt-level = 2`).
+
+/// Error carried out of a failing property body by `prop_assert!`.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runner configuration (case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic RNG driving case generation.
+
+    /// splitmix64 step.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Per-case deterministic RNG (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case `case` of the test named `name`.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            // FNV-1a over the test name decorrelates sibling tests.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+            }
+            let mut state = h ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            // Warm up so low-entropy inputs decorrelate.
+            splitmix(&mut state);
+            TestRng { state }
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            splitmix(&mut self.state)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            // Multiply-shift; bias is irrelevant for test sampling.
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Fair coin.
+        pub fn coin(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of test-case values (sampling only; no shrink tree).
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Samples one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+int_range_strategies!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategies {
+    ($($t:ty : $u:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                lo.wrapping_add(rng.below(span.wrapping_add(1).max(1)) as $t)
+            }
+        }
+    )*};
+}
+signed_range_strategies!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Sampling [lo, hi] vs [lo, hi) is indistinguishable for tests.
+        self.start() + rng.unit_f64() * (self.end() - self.start())
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary {
+    /// Samples an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.coin()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for b in &mut out {
+            *b = rng.next_u64() as u8;
+        }
+        out
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<u8>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy producing a constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9, K 10)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9, K 10, L 11)
+}
+
+pub mod strategy {
+    //! Namespace parity with the real crate.
+    pub use crate::{Just, Map, Strategy};
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.max_exclusive - self.min).max(1) as u64;
+            let len = self.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `vec(element, len_range)`: vectors with a sampled length.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            min: len.start,
+            max_exclusive: len.end,
+        }
+    }
+}
+
+pub mod option {
+    //! Option strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<S::Value>` (50% `Some`).
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            rng.coin().then(|| self.0.generate(rng))
+        }
+    }
+
+    /// `of(element)`: half `None`, half `Some(sample)`.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+}
+
+pub mod bool {
+    //! Bool strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// The strategy type of [`ANY`].
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.coin()
+        }
+    }
+
+    /// Uniformly random booleans.
+    pub const ANY: AnyBool = AnyBool;
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`prop::collection::vec`, `prop::bool::ANY`,
+    //! `prop::option::of`).
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+pub mod prelude {
+    //! Everything the property tests import.
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// item becomes a `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!("proptest case {case}/{} failed: {e}", cfg.cases);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that fails the current proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `left == right`\n  left: `{l:?}`\n right: `{r:?}`"
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `left == right` ({})\n  left: `{l:?}`\n right: `{r:?}`",
+                        format!($($fmt)+)
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// `assert_ne!` that fails the current proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `left != right`\n  both: `{l:?}`"
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Skips the rest of the case when the assumption fails (counted as a
+/// pass; the stub does not re-draw).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        let mut a = crate::test_runner::TestRng::for_case("x", 3);
+        let mut b = crate::test_runner::TestRng::for_case("x", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::for_case("y", 3);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Ranges stay in bounds; tuples, vec, option and map compose.
+        #[test]
+        fn strategies_compose(
+            x in 3u64..10,
+            y in 0.0f64..=1.0,
+            v in prop::collection::vec(any::<u8>(), 2..5),
+            o in prop::option::of(1u16..4),
+            b in prop::bool::ANY,
+            (p, q) in (0u32..4, 10usize..=12),
+            m in (0u8..4).prop_map(|n| n * 2),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&y));
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            if let Some(i) = o { prop_assert!((1..4).contains(&i)); }
+            let _ = b;
+            prop_assert!(p < 4 && (10..=12).contains(&q));
+            prop_assert!(m % 2 == 0 && m <= 6);
+        }
+    }
+}

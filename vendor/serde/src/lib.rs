@@ -1,0 +1,30 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace uses serde only as `#[derive(Serialize, Deserialize)]`
+//! markers on config structs — nothing serializes at runtime and no
+//! `#[serde(...)]` attributes are used. This crate provides importable
+//! trait names plus the no-op derive macros from the sibling
+//! `serde_derive` stub so the workspace builds hermetically without a
+//! crates.io registry (see `vendor/README.md`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Namespace parity with the real crate (`serde::de`).
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace parity with the real crate (`serde::ser`).
+pub mod ser {
+    pub use crate::Serialize;
+}

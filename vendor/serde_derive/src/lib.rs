@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stub.
+//!
+//! The workspace never serializes anything; the derives exist so struct
+//! definitions carrying `#[derive(Serialize, Deserialize)]` compile
+//! without the crates.io registry.
+
+use proc_macro::TokenStream;
+
+/// Emits nothing: types merely carry the derive as a marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Emits nothing: types merely carry the derive as a marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
