@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 use mcn::sram_mod::{Dir, SramBuffer};
+use mcn::ComponentExt;
 use mcn_dram::{Channel, DramConfig, MemKind, MemRequest};
 use mcn_net::checksum;
 use mcn_net::{EthernetFrame, Ipv4Packet, MacAddr, TcpSegment};

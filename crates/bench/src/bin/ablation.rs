@@ -10,7 +10,7 @@
 //!    headroom for 60 KB chunks).
 //! 5. **Sec. VII future work**: the stack-bypassing direct-message channel
 //!    vs the TCP/ICMP path (one-way latency of a small message).
-use mcn::{McnConfig, McnSystem, SystemConfig};
+use mcn::{ComponentExt, McnConfig, McnSystem, SystemConfig};
 use mcn_bench::{iperf_mcn_custom, McnMode};
 use mcn_dram::{DramConfig, Interleave};
 use mcn_node::mem::{Access, MemorySystem, Transfer};

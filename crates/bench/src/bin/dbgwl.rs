@@ -1,5 +1,5 @@
 //! Debug probe for workload timing on MCN vs conventional.
-use mcn::{McnConfig, McnSystem, SystemConfig};
+use mcn::{ComponentExt, McnConfig, McnSystem, SystemConfig};
 use mcn_mpi::placement::spawn_on_mcn;
 use mcn_mpi::{CommPattern, WorkloadSpec};
 use mcn_sim::SimTime;

@@ -8,7 +8,7 @@
 //! * TCP slow-start ramp time (paper: "sometimes takes several seconds to
 //!   reach the full bandwidth utilization" on real WAN-tuned stacks; on
 //!   microsecond-RTT MCN links the ramp is far shorter).
-use mcn::{McnConfig, McnSystem, SystemConfig};
+use mcn::{ComponentExt, McnConfig, McnSystem, SystemConfig};
 use mcn_dram::DramConfig;
 use mcn_mpi::{IperfClient, IperfReport, IperfServer};
 use mcn_sim::SimTime;

@@ -1,0 +1,97 @@
+//! Engine bench-smoke: drives a fig9-style iperf mix on a 4-DIMM rack
+//! (2 servers x 2 DIMMs) and reports how much polling the wakeup-index /
+//! dirty-list engine avoided versus the old scan-everything run loops.
+//!
+//! Writes `BENCH_engine.json` into the working directory and exits
+//! nonzero if the poll ratio (scan-equivalent / actual) drops below 2x,
+//! so CI catches a regression to sweep-style scheduling.
+
+use std::time::Instant;
+
+use mcn::{ComponentExt, McnConfig, McnRack, SystemConfig};
+use mcn_mpi::{IperfClient, IperfReport, IperfServer};
+use mcn_sim::SimTime;
+
+const BYTES_PER_STREAM: u64 = 1 << 20;
+const MIN_RATIO: f64 = 2.0;
+
+fn main() {
+    let mut rack = McnRack::new(&SystemConfig::default(), 2, 2, McnConfig::level(3));
+
+    // Local streams: each DIMM pushes a stream into its own host.
+    // Cross-rack stream: DIMM 0 of server 0 also streams to server 1's
+    // host, so the ToR switch and both NICs stay on the critical path.
+    let srv0 = IperfReport::shared();
+    let srv1 = IperfReport::shared();
+    rack.spawn_host(
+        0,
+        Box::new(IperfServer::new(5001, 2, SimTime::from_ms(1), srv0.clone())),
+        0,
+    );
+    rack.spawn_host(
+        1,
+        Box::new(IperfServer::new(5001, 3, SimTime::from_ms(1), srv1.clone())),
+        0,
+    );
+    for s in 0..2 {
+        let dst = rack.server(s).host_rank_ip();
+        for d in 0..2 {
+            rack.spawn_dimm(
+                s,
+                d,
+                Box::new(IperfClient::new(dst, 5001, BYTES_PER_STREAM, IperfReport::shared())),
+                1,
+            );
+        }
+    }
+    let remote = rack.server(1).host_rank_ip();
+    rack.spawn_dimm(
+        0,
+        0,
+        Box::new(IperfClient::new(remote, 5001, BYTES_PER_STREAM, IperfReport::shared())),
+        2,
+    );
+
+    let wall = Instant::now();
+    assert!(
+        rack.run_until_procs_done(SimTime::from_secs(10)),
+        "engine bench workload stalled at {}\n{}",
+        rack.now(),
+        rack.stall_report("engine bench stalled")
+    );
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    let sim_s = rack.now().as_secs_f64();
+    let (actual, scan) = rack.poll_accounting();
+    let ratio = scan as f64 / actual.max(1) as f64;
+    let rk = rack.engine_stats();
+    let rounds_per_advance = rk.rounds.get() as f64 / rk.advances.get().max(1) as f64;
+    let polls_per_wall_s = actual as f64 / wall_s.max(1e-9);
+    let goodput_gbps = srv0.lock().meter.gbps() + srv1.lock().meter.gbps();
+
+    let json = format!(
+        "{{\n  \"workload\": \"rack 2x2 iperf (4 local + 1 cross-server stream)\",\n  \
+         \"sim_seconds\": {sim_s:.6},\n  \
+         \"wall_seconds\": {wall_s:.3},\n  \
+         \"events_per_sec\": {polls_per_wall_s:.0},\n  \
+         \"advance_rounds_per_step\": {rounds_per_advance:.3},\n  \
+         \"component_polls_per_sim_sec\": {:.0},\n  \
+         \"scan_equivalent_polls_per_sim_sec\": {:.0},\n  \
+         \"poll_ratio\": {ratio:.2},\n  \
+         \"min_ratio\": {MIN_RATIO},\n  \
+         \"aggregate_goodput_gbps\": {goodput_gbps:.2}\n}}\n",
+        actual as f64 / sim_s.max(1e-12),
+        scan as f64 / sim_s.max(1e-12),
+    );
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    print!("{json}");
+
+    if ratio < MIN_RATIO {
+        eprintln!(
+            "FAIL: poll ratio {ratio:.2} < {MIN_RATIO} — engine is polling \
+             like the old scan loops"
+        );
+        std::process::exit(1);
+    }
+    println!("OK: engine polled {ratio:.2}x fewer components than a full scan");
+}

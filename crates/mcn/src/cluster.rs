@@ -14,7 +14,7 @@ use mcn_net::tcp::TcpConfig;
 use mcn_net::{MacAddr, NetConfig};
 use mcn_node::nic::{Nic, NicConfig, NicEvent, NIC_WAITER};
 use mcn_node::{CostModel, Node, ProcId, Process};
-use mcn_sim::{SimTime, StallReport};
+use mcn_sim::{Activity, Component, Engine, EngineStats, SimTime, StallReport, Wakeup};
 
 use crate::config::SystemConfig;
 
@@ -28,6 +28,10 @@ pub struct ClusterNode {
 }
 
 /// The 10GbE scale-out cluster; drive like [`crate::McnSystem`].
+///
+/// Engine component `i` is the whole per-node block: the node, its NIC,
+/// and its up/down links (their combined earliest deadline is one
+/// wakeup-index entry).
 #[derive(Debug)]
 pub struct EthernetCluster {
     now: SimTime,
@@ -37,6 +41,7 @@ pub struct EthernetCluster {
     up: Vec<Link>,
     /// Per-node downlink (switch → node).
     down: Vec<Link>,
+    engine: Engine,
 }
 
 impl EthernetCluster {
@@ -95,6 +100,7 @@ impl EthernetCluster {
             switch: Switch::new(n.max(1)),
             up: (0..n).map(|_| mk_link()).collect(),
             down: (0..n).map(|_| mk_link()).collect(),
+            engine: Engine::new(n),
             nodes,
         }
     }
@@ -105,6 +111,7 @@ impl EthernetCluster {
         let old = std::mem::replace(&mut self.up[i], Link::ten_gbe());
         let _ = old;
         self.up[i] = Link::new(1.25e9, SimTime::from_us(1)).with_impairments(drop, corrupt, seed);
+        self.engine.mark_stale(i);
     }
 
     /// The uplink (node `i` → switch), e.g. to read impairment counters.
@@ -132,8 +139,10 @@ impl EthernetCluster {
         &self.nodes[i]
     }
 
-    /// Mutable access to node `i`.
+    /// Mutable access to node `i`. Marks the node block's cached wakeup
+    /// stale: callers may inject work the engine cannot observe.
     pub fn node_mut(&mut self, i: usize) -> &mut ClusterNode {
+        self.engine.mark_stale(i);
         &mut self.nodes[i]
     }
 
@@ -144,7 +153,7 @@ impl EthernetCluster {
 
     /// Spawns a process on a core of node `i`.
     pub fn spawn(&mut self, i: usize, proc: Box<dyn Process>, core: usize) -> ProcId {
-        self.nodes[i].node.runner.spawn(proc, core)
+        self.node_mut(i).node.runner.spawn(proc, core)
     }
 
     /// All processes on all nodes finished?
@@ -152,55 +161,46 @@ impl EthernetCluster {
         self.nodes.iter().all(|n| n.node.runner.all_done())
     }
 
-    /// Earliest pending activity.
-    pub fn next_event(&self) -> Option<SimTime> {
-        let mut t: Option<SimTime> = None;
-        let mut fold = |x: Option<SimTime>| {
-            if let Some(x) = x {
-                t = Some(t.map_or(x, |c: SimTime| c.min(x)));
-            }
-        };
-        for cn in &self.nodes {
-            fold(cn.node.next_event());
-            fold(cn.nic.next_event());
-        }
-        for l in self.up.iter().chain(self.down.iter()) {
-            fold(l.next_arrival());
-        }
-        t.map(|x| x.max(self.now))
+    /// The combined wakeup of node block `i`: the node itself, its NIC
+    /// pipeline, and frames in flight on its links.
+    fn wakeup_of(&mut self, i: usize) -> Option<SimTime> {
+        [
+            self.nodes[i].node.next_wakeup(),
+            self.nodes[i].nic.next_wakeup(),
+            self.up[i].next_wakeup(),
+            self.down[i].next_wakeup(),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
     }
 
-    /// Advances to the next event; `false` when idle.
-    pub fn step(&mut self) -> bool {
-        let Some(t) = self.next_event() else {
-            return false;
-        };
-        self.advance(t);
-        true
-    }
-
-    /// Runs until `deadline` (inclusive).
-    pub fn run_until(&mut self, deadline: SimTime) {
-        loop {
-            match self.next_event() {
-                Some(t) if t <= deadline => self.advance(t),
-                _ => break,
-            }
-        }
-        if self.now < deadline {
-            self.advance(deadline);
+    /// Re-queries stale node blocks' deadlines.
+    fn refresh_wakeups(&mut self) {
+        for i in self.engine.drain_stale() {
+            let w = self.wakeup_of(i);
+            self.engine.set_wakeup(i, w);
         }
     }
 
-    /// Runs until all processes finish or `max`; `true` on completion.
-    pub fn run_until_procs_done(&mut self, max: SimTime) -> bool {
-        while !self.all_procs_done() {
-            match self.next_event() {
-                Some(t) if t <= max => self.advance(t),
-                _ => return false,
-            }
-        }
-        true
+    /// Earliest pending activity — one heap peek over the per-node
+    /// wakeup index.
+    pub fn next_event(&mut self) -> Option<SimTime> {
+        self.refresh_wakeups();
+        self.engine.earliest().map(|x| x.max(self.now))
+    }
+
+    /// Engine work counters for the cluster (node-block polls).
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats
+    }
+
+    /// `(actual polls, scan-equivalent polls)` for the cluster engine.
+    pub fn poll_accounting(&self) -> (u64, u64) {
+        (
+            self.engine.stats.component_polls.get(),
+            self.engine.stats.scan_equivalent(self.nodes.len()),
+        )
     }
 
     /// A structured snapshot of the cluster for stall debugging: each
@@ -228,75 +228,117 @@ impl EthernetCluster {
         r
     }
 
-    /// Processes everything due at `t`.
-    pub fn advance(&mut self, t: SimTime) {
+    /// Processes everything due at `t`, polling only dirty node blocks.
+    pub fn advance(&mut self, t: SimTime) -> Activity {
         assert!(t >= self.now, "time must not go backwards");
         self.now = t;
+        self.refresh_wakeups();
+        self.engine.begin(t);
+        let mut any = false;
         for round in 0.. {
             if round >= 100_000 {
                 panic!("{}", self.stall_report("cluster advance did not converge"));
             }
             let mut changed = false;
-            for i in 0..self.nodes.len() {
-                // Memory completions → NIC DMA bookkeeping.
-                let foreign = self.nodes[i].node.advance_mem(t);
-                for (waiter, job) in foreign {
-                    debug_assert_eq!(waiter, NIC_WAITER);
-                    let cn = &mut self.nodes[i];
-                    cn.nic
-                        .on_job_done(job, t, &mut cn.node.cpus, &cn.node.cost, false);
-                    changed = true;
-                }
-                // NIC pipeline events.
-                let cn = &mut self.nodes[i];
-                for ev in cn.nic.advance(t, &mut cn.node.mem) {
-                    changed = true;
-                    match ev {
-                        NicEvent::TxWire(frame) => self.up[i].send(frame, t),
-                        NicEvent::RxDeliver(frame) => {
-                            self.nodes[i].node.stack.on_frame(0, frame, t);
-                            self.nodes[i].node.drain_stack_events();
-                        }
+            if self.engine.start_round() {
+                while let Some(i) = self.engine.pop_dirty() {
+                    if self.advance_node_block(i, t) {
+                        self.engine.mark_dirty(i);
+                        changed = true;
                     }
-                }
-                // Frames arriving at the switch from node i.
-                for frame in self.up[i].poll(t) {
-                    changed = true;
-                    let fwd_at = t + self.switch.forward_latency;
-                    for p in self.switch.route(&frame, i) {
-                        self.down[p].send(frame.clone(), fwd_at);
-                    }
-                }
-                // Frames arriving at node i from the switch.
-                for frame in self.down[i].poll(t) {
-                    changed = true;
-                    let cn = &mut self.nodes[i];
-                    cn.nic.wire_rx(frame, t, &mut cn.node.mem);
-                }
-                // Stack timers, processes, outbound frames.
-                self.nodes[i].node.service_stack(t);
-                if self.nodes[i].node.run_procs(t) {
-                    changed = true;
-                }
-                loop {
-                    let cn = &mut self.nodes[i];
-                    let Some(frame) = cn.node.stack.poll_output(0) else {
-                        break;
-                    };
-                    // TX protocol processing (checksum offloaded), then the
-                    // driver handoff.
-                    let proto =
-                        mcn_node::nic::tx_protocol_cost(&cn.node.cost, &frame, false);
-                    let core = cn.node.cpus.least_loaded();
-                    let (_, end) = cn.node.cpus.run_on(core, t, proto);
-                    cn.nic.xmit(frame, end, core, &mut cn.node.cpus, &cn.node.cost);
-                    changed = true;
                 }
             }
             if !changed {
                 break;
             }
+            any = true;
+            self.engine.note_round();
         }
+        for i in self.engine.drain_touched() {
+            let w = self.wakeup_of(i);
+            self.engine.set_wakeup(i, w);
+        }
+        Activity::from_flag(any)
+    }
+
+    /// One round of progress for node block `i`: memory completions, the
+    /// NIC pipeline, its uplink into the switch, its downlink, stack
+    /// timers/processes, and outbound frames. Cross-node frames mark the
+    /// destination block dirty.
+    fn advance_node_block(&mut self, i: usize, t: SimTime) -> bool {
+        let mut changed = false;
+        // Memory completions → NIC DMA bookkeeping.
+        let foreign = self.nodes[i].node.advance_mem(t);
+        for (waiter, job) in foreign {
+            debug_assert_eq!(waiter, NIC_WAITER);
+            let cn = &mut self.nodes[i];
+            cn.nic
+                .on_job_done(job, t, &mut cn.node.cpus, &cn.node.cost, false);
+            changed = true;
+        }
+        // NIC pipeline events.
+        let cn = &mut self.nodes[i];
+        for ev in cn.nic.advance(t, &mut cn.node.mem) {
+            changed = true;
+            match ev {
+                NicEvent::TxWire(frame) => self.up[i].send(frame, t),
+                NicEvent::RxDeliver(frame) => {
+                    self.nodes[i].node.stack.on_frame(0, frame, t);
+                    self.nodes[i].node.drain_stack_events();
+                }
+            }
+        }
+        // Frames arriving at the switch from node i.
+        for frame in self.up[i].poll(t) {
+            changed = true;
+            let fwd_at = t + self.switch.forward_latency;
+            for p in self.switch.route(&frame, i) {
+                self.down[p].send(frame.clone(), fwd_at);
+                // The arrival belongs to block `p`; wake it (now for the
+                // poll below, or later via its refreshed wakeup entry).
+                self.engine.mark_dirty(p);
+            }
+        }
+        // Frames arriving at node i from the switch.
+        for frame in self.down[i].poll(t) {
+            changed = true;
+            let cn = &mut self.nodes[i];
+            cn.nic.wire_rx(frame, t, &mut cn.node.mem);
+        }
+        // Stack timers, processes, outbound frames.
+        self.nodes[i].node.service_stack(t);
+        if self.nodes[i].node.run_procs(t) {
+            changed = true;
+        }
+        loop {
+            let cn = &mut self.nodes[i];
+            let Some(frame) = cn.node.stack.poll_output(0) else {
+                break;
+            };
+            // TX protocol processing (checksum offloaded), then the
+            // driver handoff.
+            let proto = mcn_node::nic::tx_protocol_cost(&cn.node.cost, &frame, false);
+            let core = cn.node.cpus.least_loaded();
+            let (_, end) = cn.node.cpus.run_on(core, t, proto);
+            cn.nic.xmit(frame, end, core, &mut cn.node.cpus, &cn.node.cost);
+            changed = true;
+        }
+        changed
+    }
+}
+
+impl Component for EthernetCluster {
+    fn now(&self) -> SimTime {
+        EthernetCluster::now(self)
+    }
+    fn next_event(&mut self) -> Option<SimTime> {
+        EthernetCluster::next_event(self)
+    }
+    fn advance(&mut self, t: SimTime) -> Activity {
+        EthernetCluster::advance(self, t)
+    }
+    fn procs_done(&self) -> bool {
+        self.all_procs_done()
     }
 }
 
@@ -304,6 +346,7 @@ impl EthernetCluster {
 mod tests {
     use super::*;
     use bytes::Bytes;
+    use mcn_sim::ComponentExt;
 
     fn mk(n: usize) -> EthernetCluster {
         EthernetCluster::new(&SystemConfig::default(), n)

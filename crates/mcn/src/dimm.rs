@@ -584,6 +584,13 @@ impl McnDimm {
     }
 }
 
+impl mcn_sim::Wakeup for McnDimm {
+    /// Earliest staged driver deadline or node-level event.
+    fn next_wakeup(&self) -> Option<SimTime> {
+        self.next_event()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -69,3 +69,8 @@ pub use sram::SramBuffer;
 pub use sram as sram_mod;
 pub use system::McnSystem;
 
+// Engine traits every driver of a system/rack/cluster needs in scope:
+// `Component` for `advance`/`next_event`, `ComponentExt` for the shared
+// `step`/`run_until`/`run_until_procs_done` drivers.
+pub use mcn_sim::{Activity, Component, ComponentExt};
+

@@ -15,12 +15,16 @@ use mcn_net::link::{Link, Switch};
 use mcn_node::nic::{Nic, NicConfig, NicEvent, NIC_WAITER};
 use mcn_node::ProcId;
 use mcn_node::Process;
-use mcn_sim::{SimTime, StallReport};
+use mcn_sim::{Activity, Component, Engine, EngineStats, SimTime, StallReport, Wakeup};
 
 use crate::config::{McnConfig, SystemConfig};
 use crate::system::McnSystem;
 
 /// A rack: N MCN servers, one ToR switch.
+///
+/// Engine component `s` is the whole per-server block: the server, its
+/// NIC, and its up/down links (their combined earliest deadline is one
+/// wakeup-index entry).
 #[derive(Debug)]
 pub struct McnRack {
     servers: Vec<McnSystem>,
@@ -29,6 +33,7 @@ pub struct McnRack {
     down: Vec<Link>,
     switch: Switch,
     now: SimTime,
+    engine: Engine,
 }
 
 impl McnRack {
@@ -74,6 +79,7 @@ impl McnRack {
             switch: Switch::new(n_servers),
             now: SimTime::ZERO,
             servers,
+            engine: Engine::new(n_servers),
         }
     }
 
@@ -92,8 +98,10 @@ impl McnRack {
         &self.servers[s]
     }
 
-    /// Mutable access to server `s`.
+    /// Mutable access to server `s`. Marks the server block's cached
+    /// wakeup stale: callers may inject work the engine cannot observe.
     pub fn server_mut(&mut self, s: usize) -> &mut McnSystem {
+        self.engine.mark_stale(s);
         &mut self.servers[s]
     }
 
@@ -104,7 +112,7 @@ impl McnRack {
 
     /// Spawns a process on a host core of server `s`.
     pub fn spawn_host(&mut self, s: usize, proc: Box<dyn Process>, core: usize) -> ProcId {
-        self.servers[s].spawn_host(proc, core)
+        self.server_mut(s).spawn_host(proc, core)
     }
 
     /// Spawns a process on DIMM `d` of server `s`.
@@ -115,7 +123,7 @@ impl McnRack {
         proc: Box<dyn Process>,
         core: usize,
     ) -> ProcId {
-        self.servers[s].spawn_dimm(d, proc, core)
+        self.server_mut(s).spawn_dimm(d, proc, core)
     }
 
     /// All processes on all servers finished?
@@ -123,57 +131,53 @@ impl McnRack {
         self.servers.iter().all(|s| s.all_procs_done())
     }
 
-    /// Earliest pending activity in the rack.
+    /// The combined wakeup of server block `s`: the server itself, its
+    /// NIC pipeline, and frames in flight on its links.
+    fn wakeup_of(&mut self, s: usize) -> Option<SimTime> {
+        [
+            self.servers[s].next_event(),
+            self.nics[s].next_wakeup(),
+            self.up[s].next_wakeup(),
+            self.down[s].next_wakeup(),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    /// Re-queries stale server blocks' deadlines.
+    fn refresh_wakeups(&mut self) {
+        for s in self.engine.drain_stale() {
+            let w = self.wakeup_of(s);
+            self.engine.set_wakeup(s, w);
+        }
+    }
+
+    /// Earliest pending activity in the rack — one heap peek over the
+    /// per-server wakeup index.
     pub fn next_event(&mut self) -> Option<SimTime> {
-        let mut t: Option<SimTime> = None;
-        let mut fold = |x: Option<SimTime>| {
-            if let Some(x) = x {
-                t = Some(t.map_or(x, |c: SimTime| c.min(x)));
-            }
-        };
-        for s in &mut self.servers {
-            fold(s.next_event());
-        }
-        for n in &self.nics {
-            fold(n.next_event());
-        }
-        for l in self.up.iter().chain(self.down.iter()) {
-            fold(l.next_arrival());
-        }
-        t.map(|x| x.max(self.now))
+        self.refresh_wakeups();
+        self.engine.earliest().map(|x| x.max(self.now))
     }
 
-    /// Advances to the next event; `false` when idle.
-    pub fn step(&mut self) -> bool {
-        let Some(t) = self.next_event() else {
-            return false;
-        };
-        self.advance(t);
-        true
+    /// Engine work counters for the rack layer (server-block polls).
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats
     }
 
-    /// Runs until `deadline` (inclusive).
-    pub fn run_until(&mut self, deadline: SimTime) {
-        loop {
-            match self.next_event() {
-                Some(t) if t <= deadline => self.advance(t),
-                _ => break,
-            }
+    /// `(actual polls, scan-equivalent polls)` aggregated over the rack
+    /// layer and every server's own engine.
+    pub fn poll_accounting(&self) -> (u64, u64) {
+        let (mut actual, mut scan) = (
+            self.engine.stats.component_polls.get(),
+            self.engine.stats.scan_equivalent(self.servers.len()),
+        );
+        for srv in &self.servers {
+            let (a, s) = srv.poll_accounting();
+            actual += a;
+            scan += s;
         }
-        if self.now < deadline {
-            self.advance(deadline);
-        }
-    }
-
-    /// Runs until all processes finish or `max`; `true` on completion.
-    pub fn run_until_procs_done(&mut self, max: SimTime) -> bool {
-        while !self.all_procs_done() {
-            match self.next_event() {
-                Some(t) if t <= max => self.advance(t),
-                _ => return false,
-            }
-        }
-        true
+        (actual, scan)
     }
 
     /// A structured snapshot of the whole rack for stall debugging: every
@@ -215,77 +219,113 @@ impl McnRack {
         None
     }
 
-    /// Processes everything due at `t`.
-    pub fn advance(&mut self, t: SimTime) {
+    /// Processes everything due at `t`, polling only dirty server blocks.
+    pub fn advance(&mut self, t: SimTime) -> Activity {
         assert!(t >= self.now, "time must not go backwards");
         self.now = t;
+        self.refresh_wakeups();
+        self.engine.begin(t);
+        let mut any = false;
         for round in 0.. {
             if round >= 100_000 {
                 panic!("{}", self.stall_report("rack advance did not converge"));
             }
             let mut changed = false;
-            for s in 0..self.servers.len() {
-                self.servers[s].advance(t);
-                // NIC DMA completions the server collected for us.
-                for (waiter, job) in std::mem::take(&mut self.servers[s].foreign_jobs) {
-                    debug_assert_eq!(waiter, NIC_WAITER);
-                    let srv = &mut self.servers[s];
-                    self.nics[s].on_job_done(
-                        job,
-                        t,
-                        &mut srv.host.cpus,
-                        &srv.host.cost,
-                        false,
-                    );
-                    changed = true;
-                }
-                // F4 frames → NIC transmit, addressed to the owning server.
-                for mut frame in self.servers[s].take_external() {
-                    changed = true;
-                    let Some(dst_ip) = mcn_net::Ipv4Packet::decode(&frame.payload)
-                        .ok()
-                        .map(|p| p.dst)
-                    else {
-                        continue;
-                    };
-                    let Some(owner) = self.owner_of(dst_ip) else {
-                        continue; // truly external: leaves the rack (dropped)
-                    };
-                    frame.dst = McnSystem::nic_mac(owner);
-                    frame.src = McnSystem::nic_mac(s);
-                    let srv = &mut self.servers[s];
-                    let core = srv.host.cpus.least_loaded();
-                    self.nics[s].xmit(frame, t, core, &mut srv.host.cpus, &srv.host.cost);
-                }
-                // NIC pipeline.
-                let srv = &mut self.servers[s];
-                for ev in self.nics[s].advance(t, &mut srv.host.mem) {
-                    changed = true;
-                    match ev {
-                        NicEvent::TxWire(frame) => self.up[s].send(frame, t),
-                        NicEvent::RxDeliver(frame) => {
-                            self.servers[s].ingress_external(frame, t);
-                        }
+            if self.engine.start_round() {
+                while let Some(s) = self.engine.pop_dirty() {
+                    if self.advance_server_block(s, t) {
+                        self.engine.mark_dirty(s);
+                        changed = true;
                     }
-                }
-                // Switch fabric.
-                for frame in self.up[s].poll(t) {
-                    changed = true;
-                    let fwd_at = t + self.switch.forward_latency;
-                    for p in self.switch.route(&frame, s) {
-                        self.down[p].send(frame.clone(), fwd_at);
-                    }
-                }
-                for frame in self.down[s].poll(t) {
-                    changed = true;
-                    let srv = &mut self.servers[s];
-                    self.nics[s].wire_rx(frame, t, &mut srv.host.mem);
                 }
             }
             if !changed {
                 break;
             }
+            any = true;
+            self.engine.note_round();
         }
+        for s in self.engine.drain_touched() {
+            let w = self.wakeup_of(s);
+            self.engine.set_wakeup(s, w);
+        }
+        Activity::from_flag(any)
+    }
+
+    /// One round of progress for server block `s`: the server itself, its
+    /// NIC pipeline, its uplink into the switch, and its downlink into the
+    /// NIC. Cross-server frames mark the destination block dirty.
+    fn advance_server_block(&mut self, s: usize, t: SimTime) -> bool {
+        let mut changed = false;
+        self.servers[s].advance(t);
+        // NIC DMA completions the server collected for us.
+        for (waiter, job) in std::mem::take(&mut self.servers[s].foreign_jobs) {
+            debug_assert_eq!(waiter, NIC_WAITER);
+            let srv = &mut self.servers[s];
+            self.nics[s].on_job_done(job, t, &mut srv.host.cpus, &srv.host.cost, false);
+            changed = true;
+        }
+        // F4 frames → NIC transmit, addressed to the owning server.
+        for mut frame in self.servers[s].take_external() {
+            changed = true;
+            let Some(dst_ip) = mcn_net::Ipv4Packet::decode(&frame.payload)
+                .ok()
+                .map(|p| p.dst)
+            else {
+                continue;
+            };
+            let Some(owner) = self.owner_of(dst_ip) else {
+                continue; // truly external: leaves the rack (dropped)
+            };
+            frame.dst = McnSystem::nic_mac(owner);
+            frame.src = McnSystem::nic_mac(s);
+            let srv = &mut self.servers[s];
+            let core = srv.host.cpus.least_loaded();
+            self.nics[s].xmit(frame, t, core, &mut srv.host.cpus, &srv.host.cost);
+        }
+        // NIC pipeline.
+        let srv = &mut self.servers[s];
+        for ev in self.nics[s].advance(t, &mut srv.host.mem) {
+            changed = true;
+            match ev {
+                NicEvent::TxWire(frame) => self.up[s].send(frame, t),
+                NicEvent::RxDeliver(frame) => {
+                    self.servers[s].ingress_external(frame, t);
+                }
+            }
+        }
+        // Switch fabric.
+        for frame in self.up[s].poll(t) {
+            changed = true;
+            let fwd_at = t + self.switch.forward_latency;
+            for p in self.switch.route(&frame, s) {
+                self.down[p].send(frame.clone(), fwd_at);
+                // The arrival belongs to block `p`; wake it (now for the
+                // poll below, or later via its refreshed wakeup entry).
+                self.engine.mark_dirty(p);
+            }
+        }
+        for frame in self.down[s].poll(t) {
+            changed = true;
+            let srv = &mut self.servers[s];
+            self.nics[s].wire_rx(frame, t, &mut srv.host.mem);
+        }
+        changed
+    }
+}
+
+impl Component for McnRack {
+    fn now(&self) -> SimTime {
+        McnRack::now(self)
+    }
+    fn next_event(&mut self) -> Option<SimTime> {
+        McnRack::next_event(self)
+    }
+    fn advance(&mut self, t: SimTime) -> Activity {
+        McnRack::advance(self, t)
+    }
+    fn procs_done(&self) -> bool {
+        self.all_procs_done()
     }
 }
 
@@ -293,6 +333,7 @@ impl McnRack {
 mod tests {
     use super::*;
     use bytes::Bytes;
+    use mcn_sim::ComponentExt;
 
     fn mk(servers: usize, dimms: usize, level: u32) -> McnRack {
         McnRack::new(&SystemConfig::default(), servers, dimms, McnConfig::level(level))
@@ -469,7 +510,7 @@ mod tests {
 mod direct_tests {
     use crate::{McnConfig, McnSystem, SystemConfig};
     use bytes::Bytes;
-    use mcn_sim::SimTime;
+    use mcn_sim::{ComponentExt, SimTime};
 
     #[test]
     fn direct_messages_bypass_the_stack_both_ways() {

@@ -132,15 +132,22 @@ impl SramBuffer {
     fn ring_write(&mut self, dir: Dir, at: usize, data: &[u8]) {
         let base = self.region(dir);
         let cap = self.ring_cap;
-        for (i, &b) in data.iter().enumerate() {
-            self.bytes[base + (at + i) % cap] = b;
-        }
+        let at = at % cap;
+        // At most two contiguous segments (wrap at the ring boundary).
+        let first = data.len().min(cap - at);
+        self.bytes[base + at..base + at + first].copy_from_slice(&data[..first]);
+        let rest = &data[first..];
+        self.bytes[base..base + rest.len()].copy_from_slice(rest);
     }
 
-    fn ring_read(&self, dir: Dir, at: usize, len: usize) -> Vec<u8> {
+    fn ring_read_into(&self, dir: Dir, at: usize, out: &mut [u8]) {
         let base = self.region(dir);
         let cap = self.ring_cap;
-        (0..len).map(|i| self.bytes[base + (at + i) % cap]).collect()
+        let at = at % cap;
+        let first = out.len().min(cap - at);
+        out[..first].copy_from_slice(&self.bytes[base + at..base + at + first]);
+        let wrapped = out.len() - first;
+        out[first..].copy_from_slice(&self.bytes[base..base + wrapped]);
     }
 
     /// Enqueues one MCN message (steps T1–T3 of the paper): checks space,
@@ -169,19 +176,23 @@ impl SramBuffer {
     /// `*-start`, copies the data out, advances `*-start`, and clears
     /// `*-poll` once the ring drains.
     pub fn pop(&mut self, dir: Dir) -> Option<Vec<u8>> {
-        if self.used(dir) < LEN_PREFIX {
+        let used = self.used(dir);
+        if used < LEN_PREFIX {
             return None;
         }
         let (s, _, poll) = Self::ctrl(dir);
         let start = self.read_u32(s) as usize % self.ring_cap;
-        let len_bytes = self.ring_read(dir, start, LEN_PREFIX);
-        let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
-        if self.used(dir) < LEN_PREFIX + len {
+        let mut len_bytes = [0u8; LEN_PREFIX];
+        self.ring_read_into(dir, start, &mut len_bytes);
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if used < LEN_PREFIX + len {
             // Corrupt or half-written message; leave it (fences in the
             // driver prevent this in practice, paper T3).
             return None;
         }
-        let data = self.ring_read(dir, (start + LEN_PREFIX) % self.ring_cap, len);
+        // Single copy, straight from the ring into the returned buffer.
+        let mut data = vec![0u8; len];
+        self.ring_read_into(dir, (start + LEN_PREFIX) % self.ring_cap, &mut data);
         self.write_u32(s, ((start + LEN_PREFIX + len) % self.ring_cap) as u32);
         if self.used(dir) == 0 {
             self.write_u32(poll, 0);

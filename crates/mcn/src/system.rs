@@ -31,7 +31,7 @@ use mcn_node::mem::{Pattern, Transfer};
 use mcn_node::nic::{rx_protocol_cost, tx_protocol_cost};
 use mcn_node::{CostModel, JobId, Node, ProcId, Process};
 use mcn_sim::fault::{FaultInjector, FaultKind, FaultPlan};
-use mcn_sim::{EventQueue, SimTime, StallReport};
+use mcn_sim::{Activity, Component, Engine, EngineStats, EventQueue, SimTime, StallReport, Wakeup};
 
 use crate::config::{McnConfig, SystemConfig};
 use crate::dimm::{DimmSignal, McnDimm};
@@ -48,6 +48,14 @@ const DMA_MAX_ATTEMPTS: u32 = 2;
 /// The fallback poller covers dropped ALERT_N edges at a coarse interval:
 /// frequent enough to bound the hang, rare enough not to recreate `mcn0`.
 const FALLBACK_POLL_MULT: u64 = 16;
+
+/// Engine component id of the host node; DIMM `d` is `HOST_ID + 1 + d`.
+const HOST_ID: usize = 0;
+
+/// Engine component id of DIMM `d`.
+const fn dimm_id(d: usize) -> usize {
+    HOST_ID + 1 + d
+}
 
 #[derive(Debug)]
 enum Effect {
@@ -129,6 +137,8 @@ pub struct McnSystem {
     /// Stalled DMA transfers awaiting their watchdog deadline.
     stalled: HashMap<u64, StalledOp>,
     stall_seq: u64,
+    /// Wakeup index + dirty-list bookkeeping for the event loop.
+    engine: Engine,
 }
 
 impl McnSystem {
@@ -321,6 +331,7 @@ impl McnSystem {
             sram_faults,
             stalled: HashMap::new(),
             stall_seq: 0,
+            engine: Engine::new(1 + n_dimms),
         }
     }
 
@@ -422,8 +433,11 @@ impl McnSystem {
         &self.dimms[d]
     }
 
-    /// Mutable access to a DIMM.
+    /// Mutable access to a DIMM. Marks the DIMM's cached wakeup stale:
+    /// callers may inject work (e.g. `udp_send` straight into its stack)
+    /// that changes its next deadline.
     pub fn dimm_mut(&mut self, d: usize) -> &mut McnDimm {
+        self.engine.mark_stale(dimm_id(d));
         &mut self.dimms[d]
     }
 
@@ -449,6 +463,7 @@ impl McnSystem {
 
     /// Spawns an application process on a core of DIMM `d`.
     pub fn spawn_dimm(&mut self, d: usize, proc: Box<dyn Process>, core: usize) -> ProcId {
+        self.engine.mark_stale(dimm_id(d));
         self.dimms[d].node.runner.spawn(proc, core)
     }
 
@@ -537,60 +552,65 @@ impl McnSystem {
     // Event loop
     // ------------------------------------------------------------------
 
-    /// Earliest pending activity anywhere in the system.
-    pub fn next_event(&mut self) -> Option<SimTime> {
-        let mut t = self.effects.peek_time();
-        let fold = |x: Option<SimTime>, t: &mut Option<SimTime>| {
-            if let Some(x) = x {
-                *t = Some(t.map_or(x, |c: SimTime| c.min(x)));
-            }
-        };
-        fold(self.host.next_event(), &mut t);
-        for d in &self.dimms {
-            fold(d.next_event(), &mut t);
+    /// The wakeup of engine component `id`, queried live.
+    fn wakeup_of(&self, id: usize) -> Option<SimTime> {
+        if id == HOST_ID {
+            self.host.next_wakeup()
+        } else {
+            self.dimms[id - 1 - HOST_ID].next_wakeup()
         }
+    }
+
+    /// Re-queries every stale component's deadline. The host is *always*
+    /// treated as stale: it is a public field, so harnesses and tests can
+    /// inject work (binds, sends, spawns) the engine cannot observe.
+    fn refresh_wakeups(&mut self) {
+        self.engine.mark_stale(HOST_ID);
+        for id in self.engine.drain_stale() {
+            let w = self.wakeup_of(id);
+            self.engine.set_wakeup(id, w);
+        }
+    }
+
+    /// Earliest pending activity anywhere in the system: the staged-effect
+    /// queue head or the earliest indexed component wakeup — a heap peek,
+    /// not a scan over host + every DIMM.
+    pub fn next_event(&mut self) -> Option<SimTime> {
+        self.refresh_wakeups();
+        let t = match (self.effects.peek_time(), self.engine.earliest()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         t.map(|x| x.max(self.now))
     }
 
-    /// Advances to the next event; returns `false` when fully idle.
-    pub fn step(&mut self) -> bool {
-        let Some(t) = self.next_event() else {
-            return false;
-        };
-        self.advance(t);
-        true
+    /// Engine work counters (polls, rounds, advances).
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats
     }
 
-    /// Runs until `deadline` (inclusive); the system clock ends at
-    /// `deadline` even if idle before it.
-    pub fn run_until(&mut self, deadline: SimTime) {
-        loop {
-            match self.next_event() {
-                Some(t) if t <= deadline => self.advance(t),
-                _ => break,
-            }
-        }
-        if self.now < deadline {
-            self.advance(deadline);
-        }
-    }
-
-    /// Runs until every spawned process finished or `max` is reached;
-    /// returns `true` on completion.
-    pub fn run_until_procs_done(&mut self, max: SimTime) -> bool {
-        while !self.all_procs_done() {
-            match self.next_event() {
-                Some(t) if t <= max => self.advance(t),
-                _ => return false,
-            }
-        }
-        true
+    /// `(actual component polls, scan-equivalent polls)`: what the dirty
+    /// list issued versus what the old sweep-everything loop would have.
+    pub fn poll_accounting(&self) -> (u64, u64) {
+        let n = 1 + self.dimms.len();
+        (
+            self.engine.stats.component_polls.get(),
+            self.engine.stats.scan_equivalent(n),
+        )
     }
 
     /// Processes everything due at time `t`.
-    pub fn advance(&mut self, t: SimTime) {
+    ///
+    /// Convergence is driven by a dirty list instead of a full sweep: the
+    /// wakeup index seeds the components whose deadlines are due, each
+    /// delivered effect marks its target, and a component reporting
+    /// [`Activity::Active`] is re-polled next round until it quiesces.
+    pub fn advance(&mut self, t: SimTime) -> Activity {
         assert!(t >= self.now, "time must not go backwards");
         self.now = t;
+        self.refresh_wakeups();
+        self.engine.begin(t);
+        let mut any = false;
         for round in 0.. {
             if round >= 100_000 {
                 panic!("{}", self.stall_report("system advance did not converge"));
@@ -600,83 +620,105 @@ impl McnSystem {
             }
             let mut changed = false;
 
-            // 1. Host memory-job completions → driver ops (NIC DMA jobs
-            // belong to the rack orchestrator). Errors are counted and the
-            // run continues — fault injection can legitimately produce them.
-            for (waiter, job) in self.host.advance_mem(t) {
-                if waiter == HOST_DRV_WAITER {
-                    match self.on_host_job(job, t) {
-                        Ok(()) => {}
-                        Err(McnError::UnknownJob { .. }) => {
-                            self.hdrv.stats.unknown_jobs.inc()
-                        }
-                        Err(McnError::RingFull { .. }) => {
-                            self.hdrv.stats.ring_full_drops.inc()
-                        }
-                    }
-                } else {
-                    self.foreign_jobs.push((waiter, job));
-                }
-                changed = true;
-            }
-
-            // 2. DIMMs progress; their signals feed the host side.
-            for d in 0..self.dimms.len() {
-                for sig in self.dimms[d].advance(t) {
-                    changed = true;
-                    match sig {
-                        DimmSignal::TxPollRaised(at) => {
-                            if self.cfg.alert_interrupt {
-                                if self.alert_faults.fires(FaultKind::Drop, t) {
-                                    // Lost interrupt edge: nothing is
-                                    // scheduled; the fallback poller (armed
-                                    // iff alert faults are active) finds the
-                                    // pending ring data later.
-                                    self.hdrv.stats.alerts_dropped.inc();
-                                    continue;
-                                }
-                                let mut latency = self.sys.alert_latency;
-                                if self.alert_faults.fires(FaultKind::Delay, t) {
-                                    self.hdrv.stats.alerts_delayed.inc();
-                                    latency += SimTime::from_us(
-                                        1 + self.alert_faults.rng().next_below(4),
-                                    );
-                                }
-                                let channel = self.dimms[d].channel();
-                                self.effects.schedule(
-                                    (at + latency).max(t),
-                                    Effect::HostAlert { channel },
-                                );
-                            }
-                        }
-                        DimmSignal::RxSpaceFreed(_) => {
-                            let port = d; // port index == dimm index
-                            self.effects.schedule(t, Effect::TryPortTx { port });
-                        }
-                    }
-                }
-            }
-
-            // 3. Due staged effects.
+            // Due staged effects; each delivery marks its target dirty.
             while self.effects.peek_time().is_some_and(|pt| pt <= t) {
                 let (_, e) = self.effects.pop().expect("peeked");
                 self.apply(e, t);
                 changed = true;
             }
 
-            // 4. Host stack timers, processes, outbound frames.
-            self.host.service_stack(t);
-            if self.host.run_procs(t) {
-                changed = true;
-            }
-            if self.drain_host_stack(t) {
-                changed = true;
+            // Poll only the components named on the dirty list.
+            if self.engine.start_round() {
+                while let Some(id) = self.engine.pop_dirty() {
+                    let active = if id == HOST_ID {
+                        self.advance_host(t)
+                    } else {
+                        self.advance_dimm(id - 1 - HOST_ID, t)
+                    };
+                    if active {
+                        // It made progress; it may have enabled more of
+                        // its own work at `t`. Re-poll next round.
+                        self.engine.mark_dirty(id);
+                        changed = true;
+                    }
+                }
             }
 
             if !changed {
                 break;
             }
+            any = true;
+            self.engine.note_round();
         }
+        for id in self.engine.drain_touched() {
+            let w = self.wakeup_of(id);
+            self.engine.set_wakeup(id, w);
+        }
+        Activity::from_flag(any)
+    }
+
+    /// Host progress at `t`: memory-job completions → driver ops (NIC DMA
+    /// jobs belong to the rack orchestrator), stack timers, processes,
+    /// outbound frames. Errors are counted and the run continues — fault
+    /// injection can legitimately produce them.
+    fn advance_host(&mut self, t: SimTime) -> bool {
+        let mut changed = false;
+        for (waiter, job) in self.host.advance_mem(t) {
+            if waiter == HOST_DRV_WAITER {
+                match self.on_host_job(job, t) {
+                    Ok(()) => {}
+                    Err(McnError::UnknownJob { .. }) => self.hdrv.stats.unknown_jobs.inc(),
+                    Err(McnError::RingFull { .. }) => self.hdrv.stats.ring_full_drops.inc(),
+                }
+            } else {
+                self.foreign_jobs.push((waiter, job));
+            }
+            changed = true;
+        }
+        self.host.service_stack(t);
+        if self.host.run_procs(t) {
+            changed = true;
+        }
+        if self.drain_host_stack(t) {
+            changed = true;
+        }
+        changed
+    }
+
+    /// DIMM progress at `t`; its signals feed the host side.
+    fn advance_dimm(&mut self, d: usize, t: SimTime) -> bool {
+        let mut changed = false;
+        for sig in self.dimms[d].advance(t) {
+            changed = true;
+            match sig {
+                DimmSignal::TxPollRaised(at) => {
+                    if self.cfg.alert_interrupt {
+                        if self.alert_faults.fires(FaultKind::Drop, t) {
+                            // Lost interrupt edge: nothing is scheduled;
+                            // the fallback poller (armed iff alert faults
+                            // are active) finds the pending ring data
+                            // later.
+                            self.hdrv.stats.alerts_dropped.inc();
+                            continue;
+                        }
+                        let mut latency = self.sys.alert_latency;
+                        if self.alert_faults.fires(FaultKind::Delay, t) {
+                            self.hdrv.stats.alerts_delayed.inc();
+                            latency +=
+                                SimTime::from_us(1 + self.alert_faults.rng().next_below(4));
+                        }
+                        let channel = self.dimms[d].channel();
+                        self.effects
+                            .schedule((at + latency).max(t), Effect::HostAlert { channel });
+                    }
+                }
+                DimmSignal::RxSpaceFreed(_) => {
+                    let port = d; // port index == dimm index
+                    self.effects.schedule(t, Effect::TryPortTx { port });
+                }
+            }
+        }
+        changed
     }
 
     /// Charges TX protocol processing for frames the host stack queued on
@@ -706,6 +748,14 @@ impl McnSystem {
     }
 
     fn apply(&mut self, e: Effect, now: SimTime) {
+        // Mark the component this effect lands on: DIMM-side deliveries
+        // touch the DIMM, everything else runs host CPUs / memory / stack.
+        match &e {
+            Effect::DimmIrq { dimm } | Effect::DimmKick { dimm } => {
+                self.engine.mark_dirty(dimm_id(*dimm));
+            }
+            _ => self.engine.mark_dirty(HOST_ID),
+        }
         match e {
             Effect::PortXmit { port, frame } => {
                 self.hdrv.ports[port].tx_queue.push_back(frame);
@@ -1156,10 +1206,26 @@ impl McnSystem {
     }
 }
 
+impl Component for McnSystem {
+    fn now(&self) -> SimTime {
+        McnSystem::now(self)
+    }
+    fn next_event(&mut self) -> Option<SimTime> {
+        McnSystem::next_event(self)
+    }
+    fn advance(&mut self, t: SimTime) -> Activity {
+        McnSystem::advance(self, t)
+    }
+    fn procs_done(&self) -> bool {
+        self.all_procs_done()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use bytes::Bytes;
+    use mcn_sim::ComponentExt;
 
     fn mk(n_dimms: usize, level: u32) -> McnSystem {
         McnSystem::new(&SystemConfig::default(), n_dimms, McnConfig::level(level))

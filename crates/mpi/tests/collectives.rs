@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use mcn::{McnConfig, McnSystem, SystemConfig};
+use mcn::{ComponentExt, McnConfig, McnSystem, SystemConfig};
 use mcn_mpi::{Allreduce, Alltoall, Barrier, Bcast, MpiRank};
 use mcn_node::{Poll, ProcCtx, Process};
 use mcn_sim::SimTime;

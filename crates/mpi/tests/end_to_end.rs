@@ -2,7 +2,7 @@
 //! unmodified programs on an MCN server and on the Ethernet baseline —
 //! the application transparency the paper claims.
 
-use mcn::{EthernetCluster, McnConfig, McnSystem, SystemConfig};
+use mcn::{ComponentExt, EthernetCluster, McnConfig, McnSystem, SystemConfig};
 use mcn_mpi::placement::{spawn_on_cluster, spawn_on_mcn};
 use mcn_mpi::{IperfClient, IperfReport, IperfServer, PingReport, Pinger, WorkloadSpec};
 use mcn_sim::SimTime;

@@ -231,6 +231,13 @@ impl Switch {
     }
 }
 
+impl mcn_sim::Wakeup for Link {
+    /// The earliest in-flight frame arrival.
+    fn next_wakeup(&self) -> Option<SimTime> {
+        self.next_arrival()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

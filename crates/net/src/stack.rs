@@ -707,7 +707,7 @@ impl NetStack {
         }
         if let Some(&idx) = self.udp_ports.get(&dg.dst_port) {
             if let Socket::Udp { rx, .. } = &mut self.sockets[idx] {
-                rx.push_back((pkt.src, dg.src_port, dg.payload.clone()));
+                rx.push_back((pkt.src, dg.src_port, dg.payload));
                 self.events.push(SocketEvent::Activity(SockId(idx)));
                 return;
             }
@@ -953,6 +953,17 @@ impl NetStack {
             }
         }
         self.drain_loopback(now);
+    }
+}
+
+impl mcn_sim::Wakeup for NetStack {
+    /// Queued output frames need a driver *now*; otherwise the earliest
+    /// TCP retransmit/zero-window timer is the stack's next deadline.
+    fn next_wakeup(&self) -> Option<SimTime> {
+        if self.has_output() {
+            return Some(SimTime::ZERO);
+        }
+        self.next_timer()
     }
 }
 

@@ -116,6 +116,15 @@ impl Node {
     }
 }
 
+impl mcn_sim::Wakeup for Node {
+    /// See [`Node::next_event`]: memory jobs, stack timers, runnable or
+    /// timer-blocked processes, and `ZERO` when output frames wait for a
+    /// driver.
+    fn next_wakeup(&self) -> Option<SimTime> {
+        self.next_event()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

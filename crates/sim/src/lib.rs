@@ -38,10 +38,12 @@ mod rng;
 mod time;
 
 pub mod diag;
+pub mod engine;
 pub mod fault;
 pub mod stats;
 
 pub use diag::StallReport;
+pub use engine::{Activity, Component, ComponentExt, Engine, EngineStats, Wakeup, WakeupIndex};
 pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use queue::{EventHandle, EventQueue};
 pub use rng::DetRng;

@@ -47,6 +47,9 @@ pub struct EventQueue<E> {
     popped: u64,
 }
 
+/// Below this many tombstones compaction is not worth the heap rebuild.
+const COMPACT_MIN: usize = 64;
+
 #[derive(Debug)]
 struct Entry<E> {
     time: SimTime,
@@ -142,7 +145,36 @@ impl<E> EventQueue<E> {
         if !self.live_cancellable.remove(&handle.0) {
             return false; // already fired, already cancelled, or bogus
         }
-        self.cancelled.insert(handle.0)
+        let fresh = self.cancelled.insert(handle.0);
+        // Tombstoned entries occupy the heap until their timestamp comes
+        // up; under schedule/cancel churn (the engine's wakeup index
+        // reschedules deadlines constantly) that would grow without bound.
+        // Compact once tombstones outnumber live events.
+        if self.cancelled.len() > COMPACT_MIN && self.cancelled.len() > self.heap.len() / 2 {
+            self.compact();
+        }
+        fresh
+    }
+
+    /// Rebuilds the heap without tombstoned entries. O(n); amortised away
+    /// by the growth trigger in [`cancel`](Self::cancel).
+    fn compact(&mut self) {
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        self.heap = entries
+            .into_iter()
+            .filter(|Reverse(e)| !self.cancelled.remove(&e.seq))
+            .collect();
+        debug_assert!(
+            self.cancelled.is_empty(),
+            "every tombstone names a heap entry"
+        );
+    }
+
+    /// Number of tombstoned (cancelled, not yet reclaimed) heap entries.
+    /// Bounded by `max(COMPACT_MIN, live events)` thanks to the compaction
+    /// trigger in [`cancel`](Self::cancel).
+    pub fn tombstones(&self) -> usize {
+        self.cancelled.len()
     }
 
     /// Removes and returns the next event `(time, payload)`, advancing
@@ -262,5 +294,62 @@ mod tests {
     fn bogus_handle_is_rejected() {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(!q.cancel(EventHandle(42)));
+    }
+
+    #[test]
+    fn tombstones_stay_bounded_under_schedule_cancel_churn() {
+        // The wakeup-index pattern: perpetually reschedule a handful of
+        // deadlines that never (or rarely) fire. Without compaction the
+        // heap and the cancelled set both grow linearly with churn.
+        let mut q = EventQueue::new();
+        let mut handles: Vec<Option<EventHandle>> = vec![None; 8];
+        for k in 0..50_000u64 {
+            let id = (k % 8) as usize;
+            if let Some(h) = handles[id].take() {
+                q.cancel(h);
+            }
+            handles[id] = Some(q.schedule_cancellable(SimTime::from_ns(1_000_000 + k), id));
+            if k % 1000 == 999 {
+                // Occasionally consume an event, as a real run would.
+                let (_, id) = q.pop().expect("eight live events exist");
+                handles[id] = None;
+            }
+        }
+        let live = handles.iter().flatten().count();
+        assert_eq!(q.len(), live);
+        assert!(
+            q.tombstones() <= COMPACT_MIN.max(q.len()),
+            "tombstones {} exceed bound (live {})",
+            q.tombstones(),
+            q.len()
+        );
+        // The heap itself is also bounded: live entries + tombstones.
+        assert!(q.heap.len() <= q.len() + q.tombstones());
+        // Everything still pops in order with correct payloads.
+        let mut last = q.now();
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_live_events_and_order() {
+        let mut q = EventQueue::new();
+        let mut keep = Vec::new();
+        for i in 0..300u64 {
+            let h = q.schedule_cancellable(SimTime::from_ns(1000 - (i % 500)), i);
+            if i % 3 == 0 {
+                keep.push((1000 - (i % 500), i));
+            } else {
+                q.cancel(h); // drives repeated compactions
+            }
+        }
+        assert_eq!(q.len(), keep.len());
+        keep.sort(); // time, then schedule (seq) order — matches FIFO ties
+        let popped: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|(t, v)| (t.as_ns(), v))
+            .collect();
+        assert_eq!(popped, keep);
     }
 }

@@ -9,7 +9,7 @@
 //! the rate (e.g. `0.9`) to watch the run stall and print the stall
 //! report instead.
 
-use mcn::{McnConfig, McnSystem, SystemConfig};
+use mcn::{ComponentExt, McnConfig, McnSystem, SystemConfig};
 use mcn_mpi::{IperfClient, IperfReport, IperfServer};
 use mcn_sim::fault::{FaultKind, FaultPlan};
 use mcn_sim::SimTime;

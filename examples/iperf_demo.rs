@@ -2,7 +2,7 @@
 //!
 //! Run with: `cargo run --release --example iperf_demo`
 
-use mcn::{EthernetCluster, McnConfig, McnSystem, SystemConfig};
+use mcn::{ComponentExt, EthernetCluster, McnConfig, McnSystem, SystemConfig};
 use mcn_mpi::{IperfClient, IperfReport, IperfServer};
 use mcn_sim::SimTime;
 

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use mcn::{McnConfig, McnSystem, SystemConfig};
+use mcn::{ComponentExt, McnConfig, McnSystem, SystemConfig};
 use mcn_mpi::MpiRank;
 use mcn_node::{Poll, ProcCtx, Process};
 use mcn_sim::SimTime;

@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release --example npb_workload [bench]`
 //! where `bench` is one of: ep cg mg ft is lu (default: mg).
 
-use mcn::{EthernetCluster, McnConfig, McnSystem, SystemConfig};
+use mcn::{ComponentExt, EthernetCluster, McnConfig, McnSystem, SystemConfig};
 use mcn_mpi::placement::{spawn_on_cluster, spawn_on_mcn};
 use mcn_mpi::WorkloadSpec;
 use mcn_sim::SimTime;

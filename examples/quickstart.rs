@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use bytes::Bytes;
-use mcn::{McnConfig, McnSystem, SystemConfig};
+use mcn::{ComponentExt, McnConfig, McnSystem, SystemConfig};
 use mcn_sim::SimTime;
 
 fn main() {

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example wordcount`
 
-use mcn::{EthernetCluster, McnConfig, McnSystem, SystemConfig};
+use mcn::{ComponentExt, EthernetCluster, McnConfig, McnSystem, SystemConfig};
 use mcn_mpi::mapreduce::{MapReduceReport, MapReduceWorker};
 use mcn_mpi::MpiRank;
 use mcn_sim::SimTime;

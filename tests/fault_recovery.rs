@@ -6,7 +6,7 @@
 //! ordeal must be bit-reproducible from the plan's seed.
 
 use bytes::Bytes;
-use mcn::{McnConfig, McnSystem, SystemConfig};
+use mcn::{ComponentExt, McnConfig, McnSystem, SystemConfig};
 use mcn_mpi::placement::spawn_on_mcn;
 use mcn_mpi::{IperfClient, IperfReport, IperfServer, WorkloadSpec};
 use mcn_sim::fault::{FaultKind, FaultPlan};

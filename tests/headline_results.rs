@@ -2,9 +2,10 @@
 //! headline results at test-friendly scales (the full-size numbers come
 //! from the `fig*` binaries in `mcn-bench`).
 
-use mcn::{EthernetCluster, McnConfig, McnSystem, SystemConfig};
+use mcn::{ComponentExt, EthernetCluster, McnConfig, McnSystem, SystemConfig};
 use mcn_mpi::placement::spawn_on_mcn;
 use mcn_mpi::{IperfClient, IperfReport, IperfServer, PingReport, Pinger, WorkloadSpec};
+use mcn_sim::fault::{FaultKind, FaultPlan};
 use mcn_sim::SimTime;
 
 const BYTES: u64 = 1 << 20;
@@ -151,6 +152,98 @@ fn whole_system_runs_are_deterministic() {
         (g.to_bits(), rtt)
     };
     assert_eq!(run(), run(), "same seed, same wiring => identical results");
+}
+
+/// Every observable counter of a system in one string, for byte-exact
+/// golden-trace comparison across runs.
+fn trace_snapshot(sys: &McnSystem) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    writeln!(s, "now={}", sys.now()).unwrap();
+    writeln!(s, "hdrv={:?}", sys.hdrv.stats).unwrap();
+    writeln!(
+        s,
+        "host: busy={:?} mem_bytes={} tcp={:?} frames_in={}",
+        sys.host.cpus.total_busy(),
+        sys.host.mem.total_bytes(),
+        sys.host.stack.tcp_totals(),
+        sys.host.stack.stats.frames_in.get(),
+    )
+    .unwrap();
+    for d in 0..sys.dimms() {
+        let dimm = sys.dimm(d);
+        writeln!(
+            s,
+            "dimm{d}: busy={:?} mem_bytes={} tcp={:?} frames_in={}",
+            dimm.node.cpus.total_busy(),
+            dimm.node.mem.total_bytes(),
+            dimm.node.stack.tcp_totals(),
+            dimm.node.stack.stats.frames_in.get(),
+        )
+        .unwrap();
+    }
+    s
+}
+
+#[test]
+fn golden_trace_is_reproducible_under_faults() {
+    // The engine refactor must not cost reproducibility: the dirty-list
+    // order and the wakeup index are deterministic, so a fig9-style mixed
+    // workload (iperf streams + an MPI allreduce) under an active fault
+    // plan must produce byte-identical counter traces and the same final
+    // simulated time on every run.
+    let run = || {
+        let mut plan = FaultPlan::new(0xC0FFEE);
+        plan.rate(&McnSystem::sram_host_fault_component(0, 0), FaultKind::Drop, 0.02);
+        plan.rate(&McnSystem::alert_fault_component(0), FaultKind::Drop, 0.10);
+        plan.rate(&McnSystem::dma_fault_component(0), FaultKind::Stall, 0.01);
+        let mut sys =
+            McnSystem::with_faults(&SystemConfig::default(), 2, McnConfig::level(3), &plan);
+
+        // Phase 1: iperf from both DIMMs into the host.
+        let srv = IperfReport::shared();
+        sys.spawn_host(
+            Box::new(IperfServer::new(5001, 2, SimTime::from_ms(1), srv.clone())),
+            0,
+        );
+        let dst = sys.host_rank_ip();
+        for d in 0..2 {
+            sys.spawn_dimm(
+                d,
+                Box::new(IperfClient::new(dst, 5001, 256 << 10, IperfReport::shared())),
+                1,
+            );
+        }
+        assert!(
+            sys.run_until_procs_done(SimTime::from_secs(5)),
+            "golden iperf stalled\n{}",
+            sys.stall_report("golden iperf")
+        );
+
+        // Phase 2: a small MPI allreduce across host + DIMM ranks.
+        let spec = WorkloadSpec {
+            name: "golden",
+            suite: "test",
+            iterations: 2,
+            mem_bytes_per_iter: 4 << 20,
+            read_frac: 0.8,
+            random_access: false,
+            compute_ns_per_iter: 5_000,
+            comm: mcn_mpi::CommPattern::AllReduce { elems: 16 },
+        };
+        let report = spawn_on_mcn(&mut sys, spec, 2, 1, 7);
+        assert!(
+            sys.run_until_procs_done(SimTime::from_secs(20)),
+            "golden allreduce stalled\n{}",
+            sys.stall_report("golden allreduce")
+        );
+        assert!(report.lock().verified, "allreduce must verify");
+
+        trace_snapshot(&sys)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed and wiring must give a byte-identical trace");
 }
 
 #[test]

@@ -4,7 +4,7 @@
 //! on all three. Failure injection on the Ethernet baseline checks that
 //! correctness does not depend on a clean wire.
 
-use mcn::{EthernetCluster, McnConfig, McnSystem, SystemConfig};
+use mcn::{ComponentExt, EthernetCluster, McnConfig, McnSystem, SystemConfig};
 use mcn_mpi::placement::{spawn_on_cluster, spawn_on_mcn};
 use mcn_mpi::{CommPattern, WorkloadSpec};
 use mcn_sim::SimTime;
