@@ -346,7 +346,7 @@ impl Component for EthernetCluster {
 mod tests {
     use super::*;
     use bytes::Bytes;
-    use mcn_sim::ComponentExt;
+    use mcn_sim::{Backoff, ComponentExt};
 
     fn mk(n: usize) -> EthernetCluster {
         EthernetCluster::new(&SystemConfig::default(), n)
@@ -421,8 +421,9 @@ mod tests {
         let mut sent = 0;
         let mut got = Vec::new();
         let mut buf = vec![0u8; 65536];
-        let mut guard = 0;
-        while got.len() < data.len() {
+        // Fixed 100 µs pacing (initial == max_delay), bounded attempts.
+        let mut pacing = Backoff::new(SimTime::from_us(100), SimTime::from_us(100), 10_000);
+        let done = c.run_with_backoff(&mut pacing, |c| {
             let now = c.now();
             if sent < data.len() {
                 sent += c
@@ -432,8 +433,6 @@ mod tests {
                     .tcp_send(cs, &data[sent..], now)
                     .unwrap();
             }
-            let next = c.now() + SimTime::from_us(100);
-            c.run_until(next);
             loop {
                 let now = c.now();
                 let n = c
@@ -447,15 +446,14 @@ mod tests {
                 }
                 got.extend_from_slice(&buf[..n]);
             }
-            guard += 1;
-            if guard >= 10_000 {
-                panic!(
-                    "stalled at {} bytes\n{}",
-                    got.len(),
-                    c.stall_report("tcp bulk transfer stalled")
-                );
-            }
-        }
+            got.len() >= data.len()
+        });
+        assert!(
+            done,
+            "stalled at {} bytes\n{}",
+            got.len(),
+            c.stall_report("tcp bulk transfer stalled")
+        );
         assert_eq!(got, data);
     }
 
@@ -471,25 +469,24 @@ mod tests {
             .tcp_connect(EthernetCluster::ip_of(1), 5001, SimTime::ZERO)
             .unwrap();
         c.run_until(SimTime::from_ms(5));
-        // Handshake may need retries under loss.
-        let mut guard = 0;
-        while c.node(0).node.stack.tcp_state(cs) != mcn_net::tcp::TcpState::Established {
-            c.run_until(c.now() + SimTime::from_ms(50));
-            guard += 1;
-            if guard >= 100 {
-                panic!(
-                    "handshake never completed under loss\n{}",
-                    c.stall_report("tcp handshake stalled")
-                );
-            }
-        }
+        // Handshake may need retries under loss: exponential backoff from
+        // 1 ms to 50 ms slices, bounded attempts instead of a guard counter.
+        let mut hs = Backoff::new(SimTime::from_ms(1), SimTime::from_ms(50), 100);
+        let established = c.run_with_backoff(&mut hs, |c| {
+            c.node(0).node.stack.tcp_state(cs) == mcn_net::tcp::TcpState::Established
+        });
+        assert!(
+            established,
+            "handshake never completed under loss\n{}",
+            c.stall_report("tcp handshake stalled")
+        );
         let ss = c.node_mut(1).node.stack.tcp_accept(lst).unwrap();
         let data: Vec<u8> = (0..64 * 1024u32).map(|i| (i % 249) as u8).collect();
         let mut sent = 0;
         let mut got = Vec::new();
         let mut buf = vec![0u8; 65536];
-        let mut guard = 0;
-        while got.len() < data.len() {
+        let mut pacing = Backoff::new(SimTime::from_ms(1), SimTime::from_ms(1), 50_000);
+        let done = c.run_with_backoff(&mut pacing, |c| {
             let now = c.now();
             if sent < data.len() {
                 sent += c
@@ -499,7 +496,6 @@ mod tests {
                     .tcp_send(cs, &data[sent..], now)
                     .unwrap();
             }
-            c.run_until(c.now() + SimTime::from_ms(1));
             loop {
                 let now = c.now();
                 let n = c
@@ -513,15 +509,14 @@ mod tests {
                 }
                 got.extend_from_slice(&buf[..n]);
             }
-            guard += 1;
-            if guard >= 50_000 {
-                panic!(
-                    "stalled at {} bytes\n{}",
-                    got.len(),
-                    c.stall_report("lossy tcp transfer stalled")
-                );
-            }
-        }
+            got.len() >= data.len()
+        });
+        assert!(
+            done,
+            "stalled at {} bytes\n{}",
+            got.len(),
+            c.stall_report("lossy tcp transfer stalled")
+        );
         assert_eq!(got, data, "loss and corruption must not corrupt the stream");
         assert!(
             c.node(1).nic.fcs_drops.get() > 0

@@ -129,6 +129,15 @@ pub struct SystemConfig {
     pub eth_bytes_per_sec: f64,
     /// Baseline Ethernet link latency (Table II: 1 µs).
     pub eth_latency: SimTime,
+    /// Re-init handshake: initial delay between probe reads of a
+    /// (re)powered DIMM's SRAM control words (doubles per failed probe).
+    pub reinit_probe_interval: SimTime,
+    /// Re-init handshake: probe budget before the host gives up and parks
+    /// the port down.
+    pub reinit_max_probes: u32,
+    /// Re-init handshake: latency of each post-probe step (ring reset, MAC
+    /// re-announce).
+    pub reinit_step: SimTime,
 }
 
 impl Default for SystemConfig {
@@ -147,6 +156,9 @@ impl Default for SystemConfig {
             dma_watchdog_deadline: SimTime::from_us(5),
             eth_bytes_per_sec: 1.25e9,
             eth_latency: SimTime::from_us(1),
+            reinit_probe_interval: SimTime::from_us(10),
+            reinit_max_probes: 8,
+            reinit_step: SimTime::from_us(2),
         }
     }
 }

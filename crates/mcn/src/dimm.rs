@@ -106,6 +106,10 @@ pub struct DimmDriverStats {
     pub ring_full_drops: Counter,
     /// Memory completions for jobs the driver no longer tracks.
     pub unknown_jobs: Counter,
+    /// Hard crashes ([`McnDimm::crash`]) this DIMM has taken.
+    pub crashes: Counter,
+    /// Power-ons ([`McnDimm::power_on`]) after a crash.
+    pub reboots: Counter,
 }
 
 /// One MCN DIMM: node + SRAM + MCN-side driver. See the module docs.
@@ -134,6 +138,10 @@ pub struct McnDimm {
     pub direct_rx: VecDeque<(SimTime, bytes::Bytes)>,
     /// (Retained for layout stability; flow steering is hash-based.)
     rx_steer: usize,
+    /// Whether the device is powered. A crashed DIMM is frozen: it takes no
+    /// interrupts, schedules nothing, and reports no deadlines until
+    /// [`power_on`](Self::power_on).
+    alive: bool,
     /// Fault injector for this DIMM's SRAM push path (inert by default).
     faults: FaultInjector,
     /// Driver statistics.
@@ -218,6 +226,7 @@ impl McnDimm {
             scratch: 0,
             direct_rx: VecDeque::new(),
             rx_steer: 0,
+            alive: true,
             faults: FaultInjector::none(),
             stats: DimmDriverStats::default(),
         }
@@ -292,8 +301,57 @@ impl McnDimm {
         )
     }
 
+    /// Whether the device is powered (see [`crash`](Self::crash)).
+    pub fn alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Hard power failure. Device state is lost: the interface SRAM resets
+    /// to all-zeroes (indices, poll flags, ring data), queued and in-flight
+    /// driver transfers vanish, and the stack's link goes down (queued
+    /// egress frames are lost). Software state — processes, DRAM contents,
+    /// TCP connections — survives, a deliberate modeling simplification:
+    /// this models a device/driver reset, and the transport's retransmission
+    /// is what makes traffic byte-complete after the heal.
+    pub fn crash(&mut self, _now: SimTime) {
+        if !self.alive {
+            return;
+        }
+        self.alive = false;
+        self.sram.reset();
+        self.tx_queue.clear();
+        self.tx_busy = false;
+        self.rx_busy = false;
+        self.pending.clear();
+        self.staged.clear();
+        self.signals.clear();
+        self.node.stack.link_down(0);
+        self.stats.crashes.inc();
+    }
+
+    /// Powers the device back on after a [`crash`](Self::crash). The SRAM is
+    /// already zeroed; the link stays down until the host-side re-init
+    /// handshake completes and calls [`link_restored`](Self::link_restored).
+    pub fn power_on(&mut self, _now: SimTime) {
+        if self.alive {
+            return;
+        }
+        self.alive = true;
+        self.stats.reboots.inc();
+    }
+
+    /// The host's re-init handshake finished: bring the stack's link up so
+    /// retransmissions can flow again.
+    pub fn link_restored(&mut self, now: SimTime) {
+        self.node.stack.link_up(0);
+        self.node.service_stack(now);
+    }
+
     /// The MCN interface interrupt: the host set `rx-poll` at `now`.
     pub fn on_rx_poll(&mut self, now: SimTime) {
+        if !self.alive {
+            return;
+        }
         self.rx_kick(now, true);
     }
 
@@ -318,6 +376,9 @@ impl McnDimm {
 
     /// The host drained the SRAM TX ring: retry queued transmissions.
     pub fn kick_tx(&mut self, now: SimTime) {
+        if !self.alive {
+            return;
+        }
         self.staged.push((now, Staged::TryTx));
     }
 
@@ -339,14 +400,22 @@ impl McnDimm {
         self.staged.push((end, Staged::TryTx));
     }
 
-    /// Earliest internal deadline (driver staging + node).
+    /// Earliest internal deadline (driver staging + node). A crashed DIMM
+    /// reports none: it is frozen until powered back on.
     pub fn next_event(&self) -> Option<SimTime> {
+        if !self.alive {
+            return None;
+        }
         let staged = self.staged.iter().map(|(t, _)| *t).min();
         [staged, self.node.next_event()].into_iter().flatten().min()
     }
 
     /// Advances the DIMM to `now`; returns signals for the system layer.
     pub fn advance(&mut self, now: SimTime) -> Vec<DimmSignal> {
+        if !self.alive {
+            self.signals.clear();
+            return Vec::new();
+        }
         for _ in 0..10_000 {
             let mut changed = false;
             // Local memory-job completions → driver ops. Errors are
@@ -753,6 +822,62 @@ mod tests {
             dma < no_dma,
             "DMA should reduce CPU busy time: {dma} vs {no_dma}"
         );
+    }
+
+    #[test]
+    fn crash_wipes_rings_and_freezes_until_power_on() {
+        let mut d = mk();
+        let sock = d.node.stack.udp_bind(1000).unwrap();
+        // Leave a frame sitting in the TX ring and more queued behind it.
+        for _ in 0..2 {
+            d.node
+                .stack
+                .udp_send(
+                    sock,
+                    Ipv4Addr::new(10, 9, 0, 2),
+                    7,
+                    Bytes::from(vec![3u8; 400]),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+        }
+        let (_, t) = drive(&mut d, SimTime::ZERO, SimTime::from_ms(1));
+        assert!(d.sram.used(Dir::Tx) > 0);
+
+        d.crash(t);
+        assert!(!d.alive());
+        assert_eq!(d.stats.crashes.get(), 1);
+        // SRAM fully reset: indices, poll flags and data all zero.
+        assert_eq!(d.sram.used(Dir::Tx), 0);
+        assert_eq!(d.sram.used(Dir::Rx), 0);
+        assert!(!d.sram.poll_flag(Dir::Tx));
+        assert!(!d.sram.poll_flag(Dir::Rx));
+        // Driver state gone, and the DIMM is frozen.
+        let (tx_busy, rx_busy, q, _, _, staged, pending) = d.debug_state();
+        assert!(!tx_busy && !rx_busy);
+        assert_eq!((q, staged, pending), (0, 0, 0));
+        assert_eq!(d.next_event(), None);
+        // Interrupts while dead are ignored.
+        d.on_rx_poll(t);
+        assert_eq!(d.next_event(), None);
+
+        d.power_on(t + SimTime::from_ms(1));
+        d.link_restored(t + SimTime::from_ms(1));
+        assert!(d.alive());
+        assert_eq!(d.stats.reboots.get(), 1);
+        // The reborn device can transmit again.
+        d.node
+            .stack
+            .udp_send(
+                sock,
+                Ipv4Addr::new(10, 9, 0, 2),
+                7,
+                Bytes::from(vec![4u8; 100]),
+                t + SimTime::from_ms(1),
+            )
+            .unwrap();
+        let (signals, _) = drive(&mut d, t + SimTime::from_ms(1), t + SimTime::from_ms(2));
+        assert!(signals.iter().any(|s| matches!(s, DimmSignal::TxPollRaised(_))));
     }
 
     #[test]

@@ -70,6 +70,32 @@ pub fn classify(
     ForwardClass::External
 }
 
+/// Link lifecycle of a host-side port, driven by the re-init handshake in
+/// the system layer. Normal operation is `Up`; a DIMM crash moves the port
+/// to `Down`, and power-on walks it back up through the handshake:
+///
+/// `Down` → `Probe` (read the SRAM control words until the device answers)
+/// → `RingReset` (zero both rings' indices and poll flags) → `MacAnnounce`
+/// (re-announce the host-side MAC/IP pairing to the forwarding tables) →
+/// `Up`. A probe against a still-dead device retries with bounded
+/// exponential backoff; exhausting the budget parks the port in `Down`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortLink {
+    /// Normal operation.
+    Up,
+    /// The peer DIMM is dead (or the handshake gave up); no traffic moves.
+    Down,
+    /// Probing the powered-on device, on the given attempt (0-based).
+    Probe {
+        /// Probe attempt number (0-based).
+        attempt: u32,
+    },
+    /// Device answered; resetting ring indices and poll flags.
+    RingReset,
+    /// Rings clean; re-announcing the interface MAC before going up.
+    MacAnnounce,
+}
+
 /// Per-DIMM host-side state: the virtual Ethernet interface ("host-side
 /// interface") and its transmit/receive machinery.
 #[derive(Debug)]
@@ -96,6 +122,8 @@ pub struct Port {
     pub sram_base: u64,
     /// SRAM window stride.
     pub sram_stride: u64,
+    /// Link lifecycle state (see [`PortLink`]).
+    pub link: PortLink,
 }
 
 /// Host-side driver job bookkeeping.
@@ -184,6 +212,25 @@ pub struct HostDriverStats {
     pub ring_full_drops: Counter,
     /// Memory-system completions for jobs the driver no longer tracks.
     pub unknown_jobs: Counter,
+
+    // --- crash / re-init handshake accounting --------------------------
+    /// Ports taken down by a DIMM crash or link outage.
+    pub port_downs: Counter,
+    /// Probe reads issued against a (re)powered device.
+    pub probes_sent: Counter,
+    /// Probes that found the device still dead and backed off.
+    pub probe_retries: Counter,
+    /// Ring-reset steps completed (indices and poll flags re-zeroed).
+    pub ring_resets: Counter,
+    /// MAC re-announce steps completed.
+    pub mac_announces: Counter,
+    /// Re-init handshakes that completed and brought a port back up.
+    pub reinits_completed: Counter,
+    /// Re-init handshakes abandoned after the probe budget ran out.
+    pub reinit_failures: Counter,
+    /// Stale descriptors (pre-crash SRAM state the host still believed in)
+    /// discarded instead of consumed during recovery.
+    pub stale_desc_dropped: Counter,
 }
 
 /// Host-side driver state for all DIMMs.
@@ -218,6 +265,29 @@ impl HostDriver {
             .iter()
             .map(|p| (p.tx_busy, p.rx_busy, p.tx_queue.len()))
             .collect()
+    }
+
+    /// Takes port `port` down after its DIMM crashed: queued frames are
+    /// lost, busy flags clear (their in-flight jobs will complete against a
+    /// down port and be discarded as stale). Returns the number of queued
+    /// frames dropped. Idempotent for an already-down port.
+    pub fn port_down(&mut self, port: usize) -> usize {
+        let p = &mut self.ports[port];
+        if p.link == PortLink::Down {
+            return 0;
+        }
+        p.link = PortLink::Down;
+        let lost = p.tx_queue.len();
+        p.tx_queue.clear();
+        p.tx_busy = false;
+        p.rx_busy = false;
+        self.stats.port_downs.inc();
+        lost
+    }
+
+    /// Whether port `port` is fully up (traffic may move).
+    pub fn port_is_up(&self, port: usize) -> bool {
+        self.ports[port].link == PortLink::Up
     }
 
     /// Ports installed on `channel`.

@@ -15,10 +15,52 @@ use mcn_net::link::{Link, Switch};
 use mcn_node::nic::{Nic, NicConfig, NicEvent, NIC_WAITER};
 use mcn_node::ProcId;
 use mcn_node::Process;
-use mcn_sim::{Activity, Component, Engine, EngineStats, SimTime, StallReport, Wakeup};
+use mcn_sim::stats::Counter;
+use mcn_sim::{
+    Activity, Component, Engine, EngineStats, EventQueue, OutageKind, OutagePlan, SimTime,
+    StallReport, Wakeup,
+};
 
 use crate::config::{McnConfig, SystemConfig};
 use crate::system::McnSystem;
+
+/// A scheduled hard event at the rack layer (expanded from an
+/// [`OutagePlan`] by [`McnRack::set_outage_plan`]).
+#[derive(Debug)]
+enum RackOutage {
+    /// Crash DIMM `dimm` of server `server`.
+    DimmCrash { server: usize, dimm: usize },
+    /// Power that DIMM back on.
+    DimmPowerOn { server: usize, dimm: usize },
+    /// Sever server `server`'s ToR uplink (both directions).
+    LinkDown { server: usize },
+    /// Restore it.
+    LinkUp { server: usize },
+    /// Partition the switch: servers may only reach servers in their own
+    /// group (group id per server; servers not listed keep group 0).
+    Partition { group_of: Vec<usize> },
+    /// Heal the partition.
+    Heal,
+    /// Whole-node reboot: uplink down + every DIMM crashes.
+    NodeDown { server: usize },
+    /// Node comes back: uplink up + every DIMM powers on.
+    NodeUp { server: usize },
+}
+
+/// Rack-layer outage statistics.
+#[derive(Debug, Default)]
+pub struct RackStats {
+    /// Frames the partitioned switch refused to forward.
+    pub partition_drops: Counter,
+    /// Frames lost on a severed server uplink (either direction).
+    pub uplink_drops: Counter,
+    /// Uplink outages applied.
+    pub link_downs: Counter,
+    /// Switch partitions applied.
+    pub partitions: Counter,
+    /// Whole-node reboots applied.
+    pub node_reboots: Counter,
+}
 
 /// A rack: N MCN servers, one ToR switch.
 ///
@@ -34,6 +76,14 @@ pub struct McnRack {
     switch: Switch,
     now: SimTime,
     engine: Engine,
+    /// Scheduled hard events (crashes, partitions, reboots).
+    outages: EventQueue<RackOutage>,
+    /// Per-server switch group while partitioned; `None` = fully connected.
+    partition: Option<Vec<usize>>,
+    /// Per-server uplink carrier (false = severed).
+    link_up: Vec<bool>,
+    /// Outage statistics.
+    pub stats: RackStats,
 }
 
 impl McnRack {
@@ -80,6 +130,154 @@ impl McnRack {
             now: SimTime::ZERO,
             servers,
             engine: Engine::new(n_servers),
+            outages: EventQueue::new(),
+            partition: None,
+            link_up: vec![true; n_servers],
+            stats: RackStats::default(),
+        }
+    }
+
+    /// Outage-plan component name for DIMM `d` of server `s`.
+    pub fn dimm_outage_component(s: usize, d: usize) -> String {
+        format!("server{s}.dimm{d}")
+    }
+
+    /// Outage-plan component name for server `s`'s ToR uplink.
+    pub fn link_outage_component(s: usize) -> String {
+        format!("server{s}.link")
+    }
+
+    /// Outage-plan component name for whole-node reboots of server `s`.
+    pub fn node_outage_component(s: usize) -> String {
+        format!("server{s}")
+    }
+
+    /// Outage-plan component name for the ToR switch (partitions).
+    pub const SWITCH_OUTAGE_COMPONENT: &'static str = "switch";
+
+    /// Installs a hard-outage plan. Component names understood:
+    ///
+    /// * `server{s}.dimm{d}` + [`OutageKind::DimmCrash`] — crash/reboot one
+    ///   DIMM (the host↔DIMM re-init handshake heals it),
+    /// * `server{s}.link` + [`OutageKind::LinkDown`] — sever the server's
+    ///   ToR uplink for the duration,
+    /// * `server{s}` + [`OutageKind::NodeReboot`] — uplink down and every
+    ///   DIMM crashed until the node comes back,
+    /// * `switch` + [`OutageKind::SwitchPartition`] — servers may only
+    ///   reach their own group until `heal_at`.
+    pub fn set_outage_plan(&mut self, plan: &OutagePlan) {
+        for s in 0..self.servers.len() {
+            for d in 0..self.servers[s].dimms() {
+                let mut sched = plan.schedule(&Self::dimm_outage_component(s, d));
+                for (t, kind) in sched.pop_due(SimTime::MAX) {
+                    let OutageKind::DimmCrash { down_for } = kind else {
+                        continue;
+                    };
+                    self.outages.schedule(t, RackOutage::DimmCrash { server: s, dimm: d });
+                    self.outages
+                        .schedule(t + down_for, RackOutage::DimmPowerOn { server: s, dimm: d });
+                }
+            }
+            let mut links = plan.schedule(&Self::link_outage_component(s));
+            for (t, kind) in links.pop_due(SimTime::MAX) {
+                let OutageKind::LinkDown { down_for } = kind else {
+                    continue;
+                };
+                self.outages.schedule(t, RackOutage::LinkDown { server: s });
+                self.outages.schedule(t + down_for, RackOutage::LinkUp { server: s });
+            }
+            let mut nodes = plan.schedule(&Self::node_outage_component(s));
+            for (t, kind) in nodes.pop_due(SimTime::MAX) {
+                let OutageKind::NodeReboot { down_for } = kind else {
+                    continue;
+                };
+                self.outages.schedule(t, RackOutage::NodeDown { server: s });
+                self.outages.schedule(t + down_for, RackOutage::NodeUp { server: s });
+            }
+        }
+        let mut sw = plan.schedule(Self::SWITCH_OUTAGE_COMPONENT);
+        for (t, kind) in sw.pop_due(SimTime::MAX) {
+            let OutageKind::SwitchPartition { groups, heal_at } = kind else {
+                continue;
+            };
+            let mut group_of = vec![0usize; self.servers.len()];
+            for (g, members) in groups.iter().enumerate() {
+                for &m in members {
+                    if m < group_of.len() {
+                        group_of[m] = g;
+                    }
+                }
+            }
+            self.outages.schedule(t, RackOutage::Partition { group_of });
+            self.outages.schedule(heal_at.max(t), RackOutage::Heal);
+        }
+    }
+
+    /// Partitions the switch now: server `s` belongs to `group_of[s]` and
+    /// can only reach its own group. Prefer [`set_outage_plan`] for
+    /// scheduled chaos; this is the immediate form.
+    pub fn partition_now(&mut self, group_of: Vec<usize>) {
+        assert_eq!(group_of.len(), self.servers.len());
+        self.stats.partitions.inc();
+        self.partition = Some(group_of);
+    }
+
+    /// Heals a partition now: full connectivity is restored and every
+    /// server block is woken so stalled retransmissions move immediately.
+    pub fn heal_now(&mut self) {
+        self.partition = None;
+        for s in 0..self.servers.len() {
+            self.engine.mark_dirty(s);
+            self.engine.mark_stale(s);
+        }
+    }
+
+    /// Whether the switch is currently partitioned.
+    pub fn is_partitioned(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    fn apply_outage(&mut self, o: RackOutage, t: SimTime) {
+        let touched = |engine: &mut Engine, s: usize| {
+            engine.mark_dirty(s);
+            engine.mark_stale(s);
+        };
+        match o {
+            RackOutage::DimmCrash { server, dimm } => {
+                self.servers[server].crash_dimm(dimm, t);
+                touched(&mut self.engine, server);
+            }
+            RackOutage::DimmPowerOn { server, dimm } => {
+                self.servers[server].power_on_dimm(dimm, t);
+                touched(&mut self.engine, server);
+            }
+            RackOutage::LinkDown { server } => {
+                self.stats.link_downs.inc();
+                self.link_up[server] = false;
+                touched(&mut self.engine, server);
+            }
+            RackOutage::LinkUp { server } => {
+                self.link_up[server] = true;
+                touched(&mut self.engine, server);
+            }
+            RackOutage::Partition { group_of } => self.partition_now(group_of),
+            RackOutage::Heal => self.heal_now(),
+            RackOutage::NodeDown { server } => {
+                self.stats.node_reboots.inc();
+                self.stats.link_downs.inc();
+                self.link_up[server] = false;
+                for d in 0..self.servers[server].dimms() {
+                    self.servers[server].crash_dimm(d, t);
+                }
+                touched(&mut self.engine, server);
+            }
+            RackOutage::NodeUp { server } => {
+                self.link_up[server] = true;
+                for d in 0..self.servers[server].dimms() {
+                    self.servers[server].power_on_dimm(d, t);
+                }
+                touched(&mut self.engine, server);
+            }
         }
     }
 
@@ -154,10 +352,15 @@ impl McnRack {
     }
 
     /// Earliest pending activity in the rack — one heap peek over the
-    /// per-server wakeup index.
+    /// per-server wakeup index, plus the next scheduled outage (a crash or
+    /// heal is activity even when every server is idle).
     pub fn next_event(&mut self) -> Option<SimTime> {
         self.refresh_wakeups();
-        self.engine.earliest().map(|x| x.max(self.now))
+        let t = match (self.engine.earliest(), self.outages.peek_time()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        t.map(|x| x.max(self.now))
     }
 
     /// Engine work counters for the rack layer (server-block polls).
@@ -192,12 +395,19 @@ impl McnRack {
             r.line(
                 "wire",
                 format!(
-                    "srv{s}: nic_next={:?} up_next={:?} down_next={:?}",
+                    "srv{s}: link_up={} nic_next={:?} up_next={:?} down_next={:?}",
+                    self.link_up[s],
                     self.nics[s].next_event(),
                     self.up[s].next_arrival(),
                     self.down[s].next_arrival()
                 ),
             );
+        }
+        if let Some(groups) = &self.partition {
+            r.line("wire", format!("switch partitioned: groups={groups:?}"));
+        }
+        if !self.outages.is_empty() {
+            r.line("wire", format!("{} scheduled outages pending", self.outages.len()));
         }
         r
     }
@@ -231,6 +441,13 @@ impl McnRack {
                 panic!("{}", self.stall_report("rack advance did not converge"));
             }
             let mut changed = false;
+            // Due hard events first: a crash at `t` must precede `t`'s
+            // traffic rounds so the data path sees consistent state.
+            while self.outages.peek_time().is_some_and(|pt| pt <= t) {
+                let (at, o) = self.outages.pop().expect("peeked");
+                self.apply_outage(o, at.max(t));
+                changed = true;
+            }
             if self.engine.start_round() {
                 while let Some(s) = self.engine.pop_dirty() {
                     if self.advance_server_block(s, t) {
@@ -288,7 +505,15 @@ impl McnRack {
         for ev in self.nics[s].advance(t, &mut srv.host.mem) {
             changed = true;
             match ev {
-                NicEvent::TxWire(frame) => self.up[s].send(frame, t),
+                NicEvent::TxWire(frame) => {
+                    if self.link_up[s] {
+                        self.up[s].send(frame, t);
+                    } else {
+                        // Severed uplink: the frame leaves the NIC and dies
+                        // on the wire. Transport retransmits after the heal.
+                        self.stats.uplink_drops.inc();
+                    }
+                }
                 NicEvent::RxDeliver(frame) => {
                     self.servers[s].ingress_external(frame, t);
                 }
@@ -297,8 +522,25 @@ impl McnRack {
         // Switch fabric.
         for frame in self.up[s].poll(t) {
             changed = true;
+            if !self.link_up[s] {
+                // In flight when the link was cut: lost.
+                self.stats.uplink_drops.inc();
+                continue;
+            }
             let fwd_at = t + self.switch.forward_latency;
             for p in self.switch.route(&frame, s) {
+                if let Some(groups) = &self.partition {
+                    if groups[p] != groups[s] {
+                        // Partitioned: the switch has no path between the
+                        // groups. Silent loss, exactly like a real fabric.
+                        self.stats.partition_drops.inc();
+                        continue;
+                    }
+                }
+                if !self.link_up[p] {
+                    self.stats.uplink_drops.inc();
+                    continue;
+                }
                 self.down[p].send(frame.clone(), fwd_at);
                 // The arrival belongs to block `p`; wake it (now for the
                 // poll below, or later via its refreshed wakeup entry).
@@ -307,6 +549,10 @@ impl McnRack {
         }
         for frame in self.down[s].poll(t) {
             changed = true;
+            if !self.link_up[s] {
+                self.stats.uplink_drops.inc();
+                continue;
+            }
             let srv = &mut self.servers[s];
             self.nics[s].wire_rx(frame, t, &mut srv.host.mem);
         }
@@ -466,6 +712,82 @@ mod tests {
             }
         }
         assert_eq!(got, data, "byte-exact across two MCN fabrics + Ethernet");
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic_until_heal() {
+        let mut rack = mk(2, 1, 1);
+        let dst_ip = rack.server(1).dimm_ip(0);
+        let u0 = rack
+            .server_mut(0)
+            .dimm_mut(0)
+            .node
+            .stack
+            .udp_bind(7000)
+            .unwrap();
+        let u1 = rack
+            .server_mut(1)
+            .dimm_mut(0)
+            .node
+            .stack
+            .udp_bind(7001)
+            .unwrap();
+        rack.partition_now(vec![0, 1]);
+        rack.server_mut(0)
+            .dimm_mut(0)
+            .node
+            .stack
+            .udp_send(u0, dst_ip, 7001, Bytes::from(vec![9u8; 200]), SimTime::ZERO)
+            .unwrap();
+        rack.run_until(SimTime::from_ms(2));
+        assert!(
+            rack.server_mut(1)
+                .dimm_mut(0)
+                .node
+                .stack
+                .udp_recv(u1)
+                .is_none(),
+            "partitioned switch must not forward"
+        );
+        assert!(rack.stats.partition_drops.get() > 0);
+        // Heal, resend: delivery works again.
+        rack.heal_now();
+        let now = rack.now();
+        rack.server_mut(0)
+            .dimm_mut(0)
+            .node
+            .stack
+            .udp_send(u0, dst_ip, 7001, Bytes::from(vec![8u8; 200]), now)
+            .unwrap();
+        rack.run_until(now + SimTime::from_ms(2));
+        assert!(rack
+            .server_mut(1)
+            .dimm_mut(0)
+            .node
+            .stack
+            .udp_recv(u1)
+            .is_some());
+    }
+
+    #[test]
+    fn scheduled_node_reboot_heals_itself() {
+        use mcn_sim::OutagePlan;
+        let mut rack = mk(2, 1, 1);
+        let mut plan = OutagePlan::new(11);
+        plan.at(
+            &McnRack::node_outage_component(1),
+            SimTime::from_us(100),
+            mcn_sim::OutageKind::NodeReboot {
+                down_for: SimTime::from_us(300),
+            },
+        );
+        rack.set_outage_plan(&plan);
+        rack.run_until(SimTime::from_us(200));
+        assert!(!rack.server(1).dimm(0).alive(), "node down at 100us");
+        rack.run_until(SimTime::from_ms(10));
+        assert!(rack.server(1).dimm(0).alive(), "node back at 400us");
+        assert!(rack.server(1).hdrv.port_is_up(0), "reinit handshake healed");
+        assert_eq!(rack.stats.node_reboots.get(), 1);
     }
 
     #[test]

@@ -205,6 +205,14 @@ impl SramBuffer {
     pub fn pop_all(&mut self, dir: Dir) -> Vec<Vec<u8>> {
         std::iter::from_fn(|| self.pop(dir)).collect()
     }
+
+    /// Power-on reset: zeroes the control words (producer/consumer indices
+    /// and both poll flags) *and* the ring data. Everything in flight is
+    /// lost; a descriptor a stale peer still believes in reads back as a
+    /// zero-length region, never as old data.
+    pub fn reset(&mut self) {
+        self.bytes.fill(0);
+    }
 }
 
 #[cfg(test)]

@@ -31,12 +31,15 @@ use mcn_node::mem::{Pattern, Transfer};
 use mcn_node::nic::{rx_protocol_cost, tx_protocol_cost};
 use mcn_node::{CostModel, JobId, Node, ProcId, Process};
 use mcn_sim::fault::{FaultInjector, FaultKind, FaultPlan};
-use mcn_sim::{Activity, Component, Engine, EngineStats, EventQueue, SimTime, StallReport, Wakeup};
+use mcn_sim::{
+    Activity, Component, Engine, EngineStats, EventQueue, OutageKind, OutagePlan, SimTime,
+    StallReport, Wakeup,
+};
 
 use crate::config::{McnConfig, SystemConfig};
 use crate::dimm::{DimmSignal, McnDimm};
 use crate::driver::{
-    classify, sram_window, ForwardClass, HostDriver, HostOp, Port, HOST_DRV_WAITER,
+    classify, sram_window, ForwardClass, HostDriver, HostOp, Port, PortLink, HOST_DRV_WAITER,
 };
 use crate::error::{McnError, McnSide};
 use crate::sram::Dir;
@@ -82,6 +85,12 @@ enum Effect {
     /// Coarse safety-net polling round; armed only when ALERT_N faults are
     /// active, so fault-free interrupt-mode runs never poll.
     FallbackPoll { channel: u32 },
+    /// Hard-crash DIMM `dimm` (scheduled outage or explicit call).
+    Crash { dimm: usize },
+    /// Power DIMM `dimm` back on and start the re-init handshake.
+    PowerOn { dimm: usize },
+    /// One step of the host↔DIMM re-init handshake for `dimm`'s port.
+    Reinit { dimm: usize },
 }
 
 /// A DMA transfer the watchdog is holding because its descriptor stalled.
@@ -270,6 +279,7 @@ impl McnSystem {
                 rx_busy: false,
                 sram_base,
                 sram_stride,
+                link: PortLink::Up,
             });
             dimms.push(dimm);
         }
@@ -333,6 +343,55 @@ impl McnSystem {
             stall_seq: 0,
             engine: Engine::new(1 + n_dimms),
         }
+    }
+
+    /// Outage-plan component name for DIMM `d` of server `s`: schedule
+    /// [`OutageKind::DimmCrash`] events on it and pass the plan to
+    /// [`set_outage_plan`](Self::set_outage_plan).
+    pub fn dimm_outage_component(s: usize, d: usize) -> String {
+        format!("srv{s}.dimm{d}")
+    }
+
+    /// Installs a hard-outage plan: every scheduled event on this server's
+    /// DIMM components becomes a timed crash/power-on pair in the effect
+    /// queue. `LinkDown` and `NodeReboot` on a DIMM component degrade to a
+    /// crash of that DIMM (a single server has no switch or uplink);
+    /// `SwitchPartition` is a rack-level event and is ignored here.
+    pub fn set_outage_plan(&mut self, plan: &OutagePlan) {
+        for d in 0..self.dimms.len() {
+            let mut sched =
+                plan.schedule(&Self::dimm_outage_component(self.server_id, d));
+            for (t, kind) in sched.pop_due(SimTime::MAX) {
+                let down_for = match kind {
+                    OutageKind::DimmCrash { down_for }
+                    | OutageKind::LinkDown { down_for }
+                    | OutageKind::NodeReboot { down_for } => down_for,
+                    OutageKind::SwitchPartition { .. } => continue,
+                };
+                self.effects.schedule(t, Effect::Crash { dimm: d });
+                self.effects
+                    .schedule(t + down_for, Effect::PowerOn { dimm: d });
+            }
+        }
+    }
+
+    /// Hard-crashes DIMM `d` now (see [`McnDimm::crash`]): the device
+    /// freezes, its SRAM zeroes, the host port goes down and queued frames
+    /// on both sides are lost.
+    pub fn crash_dimm(&mut self, d: usize, now: SimTime) {
+        assert!(now >= self.now);
+        self.now = self.now.max(now);
+        self.effects.schedule(now, Effect::Crash { dimm: d });
+        self.advance(now);
+    }
+
+    /// Powers DIMM `d` back on now and kicks off the host-side re-init
+    /// handshake (probe → ring reset → MAC re-announce → link up).
+    pub fn power_on_dimm(&mut self, d: usize, now: SimTime) {
+        assert!(now >= self.now);
+        self.now = self.now.max(now);
+        self.effects.schedule(now, Effect::PowerOn { dimm: d });
+        self.advance(now);
     }
 
     /// Sends a direct (stack-bypassing) message to DIMM `d` — the Sec. VII
@@ -485,9 +544,12 @@ impl McnSystem {
             r.line("host sockets", line);
         }
         for (i, (tx_busy, rx_busy, txq)) in self.hdrv.debug_ports().iter().enumerate() {
+            let link = self.hdrv.ports[i].link;
             r.line(
                 "ports",
-                format!("port{i}: tx_busy={tx_busy} rx_busy={rx_busy} tx_queue={txq}"),
+                format!(
+                    "port{i}: link={link:?} tx_busy={tx_busy} rx_busy={rx_busy} tx_queue={txq}"
+                ),
             );
         }
         for (d, dimm) in self.dimms.iter().enumerate() {
@@ -754,6 +816,11 @@ impl McnSystem {
             Effect::DimmIrq { dimm } | Effect::DimmKick { dimm } => {
                 self.engine.mark_dirty(dimm_id(*dimm));
             }
+            Effect::Crash { dimm } | Effect::PowerOn { dimm } | Effect::Reinit { dimm } => {
+                // Lifecycle events touch both sides of the channel.
+                self.engine.mark_dirty(dimm_id(*dimm));
+                self.engine.mark_dirty(HOST_ID);
+            }
             _ => self.engine.mark_dirty(HOST_ID),
         }
         match e {
@@ -806,6 +873,126 @@ impl McnSystem {
             }
             Effect::DimmIrq { dimm } => self.dimms[dimm].on_rx_poll(now),
             Effect::DimmKick { dimm } => self.dimms[dimm].kick_tx(now),
+            Effect::Crash { dimm } => self.do_crash(dimm, now),
+            Effect::PowerOn { dimm } => self.do_power_on(dimm, now),
+            Effect::Reinit { dimm } => self.reinit_step(dimm, now),
+        }
+    }
+
+    /// A DIMM dies: device state wiped, host port down, both links down,
+    /// parked DMA transfers for that port discarded. The host driver starts
+    /// probing the dead port immediately (exponential backoff, bounded by
+    /// `reinit_max_probes`), so a device that powers back on inside the
+    /// probe budget re-initialises with no further intervention.
+    fn do_crash(&mut self, d: usize, now: SimTime) {
+        if !self.dimms[d].alive() {
+            return;
+        }
+        // A Reinit timer chain is alive exactly while the link is in a
+        // handshake state; only start a new one when the port was Up, so a
+        // crash that lands mid-handshake reuses the existing chain.
+        let was_up = self.hdrv.ports[d].link == PortLink::Up;
+        self.dimms[d].crash(now);
+        self.hdrv.port_down(d);
+        let ifidx = self.hdrv.ports[d].ifidx;
+        self.host.stack.link_down(ifidx);
+        self.hdrv.ports[d].link = PortLink::Probe { attempt: 0 };
+        if was_up {
+            self.effects.schedule(
+                now + self.sys.reinit_probe_interval,
+                Effect::Reinit { dimm: d },
+            );
+        }
+        // Watchdog-parked DMA transfers targeting the dead port are stale:
+        // drop them (their DmaWatchdog effects will find nothing to retry).
+        let before = self.stalled.len();
+        self.stalled.retain(|_, op| {
+            !matches!(
+                op,
+                StalledOp::Tx { port, .. } | StalledOp::Rx { port, .. } if *port == d
+            )
+        });
+        self.hdrv
+            .stats
+            .stale_desc_dropped
+            .add((before - self.stalled.len()) as u64);
+    }
+
+    /// A crashed DIMM powers back on: the device wakes with clean state.
+    /// If the probe loop started at crash time is still running, its next
+    /// probe finds the device; if it already exhausted its budget and
+    /// parked the port, the power-on restarts the handshake.
+    fn do_power_on(&mut self, d: usize, now: SimTime) {
+        if self.dimms[d].alive() {
+            return;
+        }
+        self.dimms[d].power_on(now);
+        if self.hdrv.ports[d].link == PortLink::Down {
+            self.hdrv.ports[d].link = PortLink::Probe { attempt: 0 };
+            self.effects
+                .schedule(now + self.sys.reinit_step, Effect::Reinit { dimm: d });
+        }
+    }
+
+    /// One step of the re-init handshake: probe (with exponential backoff
+    /// against a still-dead device, bounded by `reinit_max_probes`), then
+    /// ring reset, then MAC re-announce, then link up on both sides.
+    fn reinit_step(&mut self, d: usize, now: SimTime) {
+        let channel = self.hdrv.ports[d].channel;
+        let core = self.poll_core(channel);
+        match self.hdrv.ports[d].link {
+            PortLink::Probe { attempt } => {
+                self.hdrv.stats.probes_sent.inc();
+                self.host
+                    .cpus
+                    .run_on(core, now, self.host.cost.poll_check());
+                if self.dimms[d].alive() {
+                    self.hdrv.ports[d].link = PortLink::RingReset;
+                    self.effects
+                        .schedule(now + self.sys.reinit_step, Effect::Reinit { dimm: d });
+                } else if attempt + 1 >= self.sys.reinit_max_probes {
+                    // Probe budget exhausted: park the port down. A later
+                    // power-on restarts the handshake from scratch.
+                    self.hdrv.stats.reinit_failures.inc();
+                    self.hdrv.ports[d].link = PortLink::Down;
+                } else {
+                    self.hdrv.stats.probe_retries.inc();
+                    self.hdrv.ports[d].link = PortLink::Probe { attempt: attempt + 1 };
+                    let delay = self
+                        .sys
+                        .reinit_probe_interval
+                        .as_ps()
+                        .saturating_mul(1u64 << attempt.min(20));
+                    self.effects.schedule(
+                        now + SimTime::from_ps(delay),
+                        Effect::Reinit { dimm: d },
+                    );
+                }
+            }
+            PortLink::RingReset => {
+                // The host re-zeroes both rings' control words through the
+                // SRAM window: whatever either side believed pre-crash is
+                // now definitively gone.
+                self.hdrv.stats.ring_resets.inc();
+                self.dimms[d].sram.reset();
+                self.hdrv.ports[d].link = PortLink::MacAnnounce;
+                self.effects
+                    .schedule(now + self.sys.reinit_step, Effect::Reinit { dimm: d });
+            }
+            PortLink::MacAnnounce => {
+                self.hdrv.stats.mac_announces.inc();
+                self.hdrv.stats.reinits_completed.inc();
+                self.hdrv.ports[d].link = PortLink::Up;
+                let ifidx = self.hdrv.ports[d].ifidx;
+                self.host.stack.link_up(ifidx);
+                self.host.service_stack(now);
+                self.dimms[d].link_restored(now);
+                // Both sides may have retransmissions queued behind RTOs;
+                // kick the data path so pending work moves immediately.
+                self.effects.schedule(now, Effect::TryPortTx { port: d });
+                self.effects.schedule(now, Effect::DimmKick { dimm: d });
+            }
+            PortLink::Up | PortLink::Down => {} // stale handshake timer
         }
     }
 
@@ -813,6 +1000,9 @@ impl McnSystem {
     fn issue_poll_checks(&mut self, channel: u32, at: SimTime, via_fallback: bool) {
         let core = self.poll_core(channel);
         for port in self.hdrv.ports_on_channel(channel) {
+            if self.hdrv.ports[port].link != PortLink::Up {
+                continue; // dead or re-initialising: nothing to poll
+            }
             self.host
                 .cpus
                 .run_on(core, at, self.host.cost.poll_check());
@@ -917,6 +1107,14 @@ impl McnSystem {
 
     fn try_port_tx(&mut self, port: usize, now: SimTime) {
         let p = &mut self.hdrv.ports[port];
+        if p.link != PortLink::Up {
+            // Frames staged before the crash landed on a dead port: discard
+            // them — the transport retransmits once the link heals.
+            let lost = p.tx_queue.len() as u64;
+            p.tx_queue.clear();
+            self.hdrv.stats.stale_desc_dropped.add(lost);
+            return;
+        }
         if p.tx_busy {
             return;
         }
@@ -1018,6 +1216,21 @@ impl McnSystem {
     }
 
     fn on_host_job(&mut self, job: JobId, now: SimTime) -> Result<(), McnError> {
+        // A copy or poll job that completes against a port the crash took
+        // down read (or would write) pre-crash ring state the device no
+        // longer owns: discard the result instead of consuming it.
+        if let Some(op) = self.hdrv.pending.get(&job.0) {
+            let port = match op {
+                HostOp::PollCheck { port, .. }
+                | HostOp::RxCopy { port, .. }
+                | HostOp::TxCopy { port, .. } => *port,
+            };
+            if self.hdrv.ports[port].link != PortLink::Up {
+                self.hdrv.pending.remove(&job.0);
+                self.hdrv.stats.stale_desc_dropped.inc();
+                return Ok(());
+            }
+        }
         match self.hdrv.pending.remove(&job.0) {
             Some(HostOp::PollCheck { port, via_fallback }) => {
                 let d = self.hdrv.ports[port].dimm;
@@ -1545,6 +1758,124 @@ mod tests {
         assert!(report.contains("host sockets"), "{report}");
         assert!(report.contains("tcp"), "{report}");
         assert!(report.contains("rings"), "{report}");
+    }
+
+    #[test]
+    fn crash_and_power_on_walks_the_reinit_handshake() {
+        let mut sys = mk(1, 1);
+        let dimm_ip = sys.dimm_ip(0);
+        let uh = sys.host.stack.udp_bind(5000).unwrap();
+        let ud = sys.dimm_mut(0).node.stack.udp_bind(6000).unwrap();
+        let us = sys.host.stack.udp_bind(5001).unwrap();
+        // Healthy round trip first.
+        sys.dimm_mut(0)
+            .node
+            .stack
+            .udp_send(
+                ud,
+                McnSystem::host_if_ip(0),
+                5000,
+                Bytes::from(vec![1u8; 300]),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        sys.run_until(SimTime::from_us(200));
+        assert!(sys.host.stack.udp_recv(uh).is_some());
+
+        let t = sys.now();
+        sys.crash_dimm(0, t);
+        assert!(!sys.dimm(0).alive());
+        assert!(!sys.hdrv.port_is_up(0));
+        assert_eq!(sys.hdrv.stats.port_downs.get(), 1);
+        // Traffic into the dead port is dropped at the host link, not hung.
+        sys.host
+            .stack
+            .udp_send(us, dimm_ip, 6000, Bytes::from(vec![2u8; 300]), sys.now())
+            .unwrap();
+        let t2 = sys.now() + SimTime::from_us(100);
+        sys.run_until(t2);
+        assert!(sys.host.stack.stats.link_drops.get() > 0);
+        assert!(sys.hdrv.stats.probes_sent.get() >= 1, "probing started");
+        assert!(sys.hdrv.stats.probe_retries.get() >= 1, "device still dead");
+
+        // Power back on inside the probe budget: the handshake completes.
+        let t3 = sys.now();
+        sys.power_on_dimm(0, t3);
+        sys.run_until(t3 + SimTime::from_ms(3));
+        assert!(sys.hdrv.port_is_up(0), "handshake must bring the port up");
+        assert!(sys.dimm(0).alive());
+        assert_eq!(sys.dimm(0).stats.crashes.get(), 1);
+        assert_eq!(sys.dimm(0).stats.reboots.get(), 1);
+        assert_eq!(sys.hdrv.stats.ring_resets.get(), 1);
+        assert_eq!(sys.hdrv.stats.mac_announces.get(), 1);
+        assert_eq!(sys.hdrv.stats.reinits_completed.get(), 1);
+        assert_eq!(sys.hdrv.stats.reinit_failures.get(), 0);
+
+        // Traffic flows again in both directions.
+        let t4 = sys.now();
+        sys.host
+            .stack
+            .udp_send(us, dimm_ip, 6000, Bytes::from(vec![3u8; 300]), t4)
+            .unwrap();
+        sys.dimm_mut(0)
+            .node
+            .stack
+            .udp_send(
+                ud,
+                McnSystem::host_if_ip(0),
+                5000,
+                Bytes::from(vec![4u8; 300]),
+                t4,
+            )
+            .unwrap();
+        sys.run_until(t4 + SimTime::from_ms(1));
+        assert!(sys.dimm_mut(0).node.stack.udp_recv(ud).is_some());
+        assert!(sys.host.stack.udp_recv(uh).is_some());
+    }
+
+    #[test]
+    fn outage_longer_than_probe_budget_parks_then_recovers_on_power_on() {
+        let sys_cfg = SystemConfig {
+            reinit_max_probes: 3,
+            ..SystemConfig::default()
+        };
+        let mut sys = McnSystem::new(&sys_cfg, 1, McnConfig::level(1));
+        sys.run_until(SimTime::from_us(10));
+        let t = sys.now();
+        sys.crash_dimm(0, t);
+        // Budget: 10 + 20 + 40 µs of probes, all failing.
+        sys.run_until(t + SimTime::from_ms(1));
+        assert_eq!(sys.hdrv.stats.reinit_failures.get(), 1);
+        assert!(!sys.hdrv.port_is_up(0));
+        assert_eq!(sys.hdrv.stats.probes_sent.get(), 3);
+        // A later power-on restarts the handshake from scratch.
+        let t2 = sys.now();
+        sys.power_on_dimm(0, t2);
+        sys.run_until(t2 + SimTime::from_ms(1));
+        assert!(sys.hdrv.port_is_up(0));
+        assert_eq!(sys.hdrv.stats.reinits_completed.get(), 1);
+    }
+
+    #[test]
+    fn outage_plan_schedules_crash_and_reboot() {
+        use mcn_sim::OutagePlan;
+        let mut plan = OutagePlan::new(7);
+        plan.at(
+            &McnSystem::dimm_outage_component(0, 0),
+            SimTime::from_us(50),
+            mcn_sim::OutageKind::DimmCrash {
+                down_for: SimTime::from_us(200),
+            },
+        );
+        let mut sys = mk(1, 1);
+        sys.set_outage_plan(&plan);
+        sys.run_until(SimTime::from_us(100));
+        assert!(!sys.dimm(0).alive(), "crash fires at 50us");
+        sys.run_until(SimTime::from_ms(5));
+        assert!(sys.dimm(0).alive(), "reboot fires at 250us");
+        assert!(sys.hdrv.port_is_up(0), "handshake heals the port");
+        assert_eq!(sys.dimm(0).stats.crashes.get(), 1);
+        assert_eq!(sys.dimm(0).stats.reboots.get(), 1);
     }
 
     #[test]

@@ -42,6 +42,25 @@ enum Conn {
     Ready(SockId),
 }
 
+/// Unrecoverable communicator-level failures surfaced by [`MpiRank`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpiError {
+    /// A peer exhausted the reconnect budget: every dial ended in a TCP
+    /// timeout (or an established connection died and could not be
+    /// re-established). The rank is considered dead; collectives that
+    /// depend on it will never complete and the application should abort
+    /// or shrink the communicator.
+    RankFailed(usize),
+}
+
+impl std::fmt::Display for MpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpiError::RankFailed(r) => write!(f, "rank {r} failed (reconnect budget exhausted)"),
+        }
+    }
+}
+
 /// One rank's endpoint: connection mesh, send queues, receive matching.
 #[derive(Debug)]
 pub struct MpiRank {
@@ -64,6 +83,16 @@ pub struct MpiRank {
     tx: Vec<VecDeque<u8>>,
     /// Matched-later queue: (src, tag, payload).
     inbox: VecDeque<(usize, u32, Vec<u8>)>,
+    /// Redials allowed per peer after a liveness failure (TCP timeout on a
+    /// dial, or an established connection dying). Resets-while-connecting
+    /// are *not* counted: rank start is unsynchronised, so a peer that is
+    /// not listening yet answers with RST and the redial is free.
+    max_reconnects: u32,
+    /// Liveness-failure redials consumed, per peer.
+    reconnects: Vec<u32>,
+    /// Peers declared dead (budget exhausted). Sends to a dead peer are
+    /// dropped; [`first_failure`](Self::first_failure) reports it.
+    failed: Vec<bool>,
 }
 
 impl MpiRank {
@@ -89,6 +118,49 @@ impl MpiRank {
             rx: vec![Vec::new(); size],
             tx: (0..size).map(|_| VecDeque::new()).collect(),
             inbox: VecDeque::new(),
+            max_reconnects: 2,
+            reconnects: vec![0; size],
+            failed: vec![false; size],
+        }
+    }
+
+    /// Sets how many liveness-failure redials each peer gets before it is
+    /// declared dead (default 2). Zero means the first timeout is fatal.
+    pub fn set_max_reconnects(&mut self, n: u32) {
+        self.max_reconnects = n;
+    }
+
+    /// The first peer declared dead, if any. Applications poll this while
+    /// blocked in a collective: a dead peer means the collective will
+    /// never complete, so surface the error instead of spinning forever.
+    pub fn first_failure(&self) -> Option<MpiError> {
+        self.failed
+            .iter()
+            .position(|&f| f)
+            .map(MpiError::RankFailed)
+    }
+
+    /// Every peer declared dead so far.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        (0..self.size).filter(|&p| self.failed[p]).collect()
+    }
+
+    /// Liveness-failure redials consumed against `peer`'s budget.
+    pub fn peer_reconnects(&self, peer: usize) -> u32 {
+        self.reconnects[peer]
+    }
+
+    /// Charges one liveness failure against `peer`'s budget; returns
+    /// `true` if a redial is still allowed.
+    fn note_peer_failure(&mut self, peer: usize) -> bool {
+        if self.reconnects[peer] >= self.max_reconnects {
+            self.failed[peer] = true;
+            // Drop queued bytes so `flushed` cannot hang on a dead peer.
+            self.tx[peer].clear();
+            false
+        } else {
+            self.reconnects[peer] += 1;
+            true
         }
     }
 
@@ -143,20 +215,41 @@ impl MpiRank {
         // listening yet (rank start is not synchronised, exactly as with a
         // real mpirun over TCP).
         for p in 0..self.size {
-            if let Conn::Connecting(s) = self.out_conns[p] {
-                if ctx.tcp_established(s) {
-                    let hdr = (self.rank as u32).to_le_bytes();
-                    let mut q: VecDeque<u8> = hdr.into_iter().collect();
-                    q.append(&mut self.tx[p]);
-                    self.tx[p] = q;
-                    self.out_conns[p] = Conn::Ready(s);
-                } else if ctx.stack.tcp_state(s) == mcn_net::tcp::TcpState::Closed {
-                    let port = self.base_port + p as u16;
-                    let ns = ctx
-                        .tcp_connect(self.peers[p], port)
-                        .unwrap_or_else(|| panic!("rank {} cannot redial {p}", self.rank));
-                    self.out_conns[p] = Conn::Connecting(ns);
+            match self.out_conns[p] {
+                Conn::Connecting(s) => {
+                    if ctx.tcp_established(s) {
+                        let hdr = (self.rank as u32).to_le_bytes();
+                        let mut q: VecDeque<u8> = hdr.into_iter().collect();
+                        q.append(&mut self.tx[p]);
+                        self.tx[p] = q;
+                        self.out_conns[p] = Conn::Ready(s);
+                    } else if ctx.stack.tcp_error(s) == Some(mcn_net::tcp::TcpError::TimedOut) {
+                        // The dial itself timed out: the peer is
+                        // unreachable or dead. This consumes budget.
+                        if self.note_peer_failure(p) {
+                            self.redial(ctx, p);
+                        } else {
+                            self.out_conns[p] = Conn::Absent;
+                        }
+                    } else if ctx.stack.tcp_state(s) == mcn_net::tcp::TcpState::Closed {
+                        // RST: the peer is alive but not listening yet
+                        // (unsynchronised rank start). Free redial.
+                        self.redial(ctx, p);
+                    }
                 }
+                Conn::Ready(s) => {
+                    if ctx.stack.tcp_failed(s) {
+                        // An established connection died (RTO give-up or
+                        // reset). Consume budget and redial; the rank-id
+                        // header is re-queued on promotion.
+                        if self.note_peer_failure(p) {
+                            self.redial(ctx, p);
+                        } else {
+                            self.out_conns[p] = Conn::Absent;
+                        }
+                    }
+                }
+                Conn::Absent => {}
             }
         }
         // Flush send queues.
@@ -200,13 +293,20 @@ impl MpiRank {
     }
 
     fn dial(&mut self, ctx: &mut ProcCtx<'_>, peer: usize) {
-        if matches!(self.out_conns[peer], Conn::Absent) {
-            let port = self.base_port + peer as u16;
-            let s = ctx
-                .tcp_connect(self.peers[peer], port)
-                .unwrap_or_else(|| panic!("rank {} cannot reach rank {peer}", self.rank));
-            self.out_conns[peer] = Conn::Connecting(s);
+        if matches!(self.out_conns[peer], Conn::Absent) && !self.failed[peer] {
+            self.redial(ctx, peer);
         }
+    }
+
+    /// Unconditionally dials `peer`, replacing whatever connection record
+    /// was there (callers have already decided the old socket is dead or
+    /// absent).
+    fn redial(&mut self, ctx: &mut ProcCtx<'_>, peer: usize) {
+        let port = self.base_port + peer as u16;
+        let s = ctx
+            .tcp_connect(self.peers[peer], port)
+            .unwrap_or_else(|| panic!("rank {} cannot reach rank {peer}", self.rank));
+        self.out_conns[peer] = Conn::Connecting(s);
     }
 
     /// Queues a message; delivery is asynchronous (keep calling
@@ -217,6 +317,11 @@ impl MpiRank {
         ctx.charge(ctx.cost.mpi_msg());
         if dst == self.rank {
             self.inbox.push_back((dst, tag, payload.to_vec()));
+            return;
+        }
+        if self.failed[dst] {
+            // The peer is dead: queueing would leak bytes forever. The
+            // caller learns about the failure via `first_failure`.
             return;
         }
         self.dial(ctx, dst);

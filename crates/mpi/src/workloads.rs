@@ -23,7 +23,7 @@ use mcn_node::mem::Access;
 use mcn_node::{JobId, Poll, ProcCtx, Process, Wake};
 use mcn_sim::{DetRng, SimTime};
 
-use crate::mpi::{Allreduce, Alltoall, Barrier, MpiRank};
+use crate::mpi::{Allreduce, Alltoall, Barrier, MpiError, MpiRank};
 
 /// Communication pattern of one iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -263,6 +263,9 @@ pub struct WorkloadReport {
     pub finished: Vec<Option<SimTime>>,
     /// Numerical verification passed on every rank that checked.
     pub verified: bool,
+    /// Per-rank abort cause: a rank that detects a dead peer records the
+    /// error here and exits instead of spinning in the collective forever.
+    pub failures: Vec<Option<MpiError>>,
 }
 
 impl WorkloadReport {
@@ -271,6 +274,7 @@ impl WorkloadReport {
         Arc::new(Mutex::new(WorkloadReport {
             finished: vec![None; size],
             verified: true,
+            failures: vec![None; size],
         }))
     }
 
@@ -279,6 +283,11 @@ impl WorkloadReport {
         self.finished.iter().copied().collect::<Option<Vec<_>>>()?
             .into_iter()
             .max()
+    }
+
+    /// The first recorded abort cause, if any rank gave up.
+    pub fn first_failure(&self) -> Option<MpiError> {
+        self.failures.iter().flatten().next().copied()
     }
 }
 
@@ -438,6 +447,21 @@ impl RankProgram {
         }
     }
 
+    /// Checks the communicator for a dead peer; on failure records the
+    /// cause in the report and returns `true` so the caller aborts the
+    /// rank. A collective blocked on a failed rank would otherwise wait
+    /// forever: its wait set shrinks to sockets that will never fire.
+    fn abort_on_failure(&mut self) -> bool {
+        let Some(err) = self.mpi.first_failure() else {
+            return false;
+        };
+        let rank = self.mpi.rank();
+        let mut r = self.report.lock();
+        r.failures[rank] = Some(err);
+        r.verified = false;
+        true
+    }
+
     fn comm_done(&mut self, engine: &mut CommEngine, ctx: &mut ProcCtx<'_>) -> bool {
         match engine {
             CommEngine::None => true,
@@ -542,6 +566,10 @@ impl Process for RankProgram {
                         self.state = State::Drain;
                         continue;
                     }
+                    if self.abort_on_failure() {
+                        self.state = State::Done;
+                        return Poll::Done;
+                    }
                     self.state = State::Comm(engine);
                     return Poll::Wait(self.mpi.wakes());
                 }
@@ -551,6 +579,10 @@ impl Process for RankProgram {
                         self.iter += 1;
                         self.state = State::Compute;
                         continue;
+                    }
+                    if self.abort_on_failure() {
+                        self.state = State::Done;
+                        return Poll::Done;
                     }
                     return Poll::Wait(self.mpi.wakes());
                 }
@@ -562,12 +594,20 @@ impl Process for RankProgram {
                         self.state = State::Flush;
                         continue;
                     }
+                    if self.abort_on_failure() {
+                        self.state = State::Done;
+                        return Poll::Done;
+                    }
                     self.state = State::FinalBarrier(b);
                     return Poll::Wait(self.mpi.wakes());
                 }
                 State::Flush => {
                     self.mpi.progress(ctx);
                     if self.mpi.flushed() {
+                        self.state = State::Done;
+                        return Poll::Done;
+                    }
+                    if self.abort_on_failure() {
                         self.state = State::Done;
                         return Poll::Done;
                     }

@@ -89,6 +89,10 @@ enum Socket {
 struct Interface {
     cfg: NetConfig,
     out: VecDeque<EthernetFrame>,
+    /// Carrier state: while down, egress and ingress frames are dropped
+    /// (and counted) — transports recover via retransmission after the
+    /// link heals, or fail with a dead-peer error if it never does.
+    up: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -146,6 +150,9 @@ pub struct StackStats {
     pub malformed: Counter,
     /// ICMP echo requests answered.
     pub echo_replies: Counter,
+    /// Frames dropped (either direction) because the interface's link was
+    /// down.
+    pub link_drops: Counter,
 }
 
 /// One node's TCP/IPv4 network stack.
@@ -206,8 +213,36 @@ impl NetStack {
         self.ifaces.push(Interface {
             cfg,
             out: VecDeque::new(),
+            up: true,
         });
         self.ifaces.len() - 1
+    }
+
+    /// Takes the interface's carrier down: frames already queued for
+    /// transmission are lost (counted in `link_drops`), as is everything
+    /// sent or received until [`link_up`](Self::link_up). TCP connections
+    /// over the interface keep retransmitting on their timers and either
+    /// recover after the link heals or fail with
+    /// [`TcpError::TimedOut`](crate::tcp::TcpError::TimedOut).
+    pub fn link_down(&mut self, ifidx: usize) {
+        let iface = &mut self.ifaces[ifidx];
+        if !iface.up {
+            return;
+        }
+        iface.up = false;
+        let lost = iface.out.len() as u64;
+        iface.out.clear();
+        self.stats.link_drops.add(lost);
+    }
+
+    /// Restores the interface's carrier.
+    pub fn link_up(&mut self, ifidx: usize) {
+        self.ifaces[ifidx].up = true;
+    }
+
+    /// Current carrier state of `ifidx`.
+    pub fn link_is_up(&self, ifidx: usize) -> bool {
+        self.ifaces[ifidx].up
     }
 
     /// Adds a route. `mask` 255.255.255.255 gives the paper's host-side /32
@@ -424,6 +459,22 @@ impl NetStack {
         }
     }
 
+    /// Why the connection failed terminally (RTO give-up or peer reset);
+    /// `None` for healthy connections, clean closes, and unknown handles.
+    /// The stack-level dead-peer signal upper layers (MPI) act on.
+    pub fn tcp_error(&self, sock: SockId) -> Option<crate::tcp::TcpError> {
+        match self.sockets.get(sock.0) {
+            Some(Socket::Tcp { conn, .. }) => conn.error(),
+            _ => None,
+        }
+    }
+
+    /// True when the connection died abnormally (shorthand for
+    /// [`tcp_error`](Self::tcp_error)`.is_some()`).
+    pub fn tcp_failed(&self, sock: SockId) -> bool {
+        self.tcp_error(sock).is_some()
+    }
+
     /// One formatted line per live socket (listeners, connections, UDP
     /// binds) for stall diagnostics; closed slots are skipped.
     pub fn socket_states(&self) -> Vec<String> {
@@ -496,6 +547,7 @@ impl NetStack {
                 total.acks_out += st.acks_out;
                 total.bytes_delivered += st.bytes_delivered;
                 total.bytes_sent += st.bytes_sent;
+                total.rto_giveups += st.rto_giveups;
             }
         }
         total
@@ -631,6 +683,10 @@ impl NetStack {
             self.stats.malformed.inc();
             return;
         };
+        if !iface.up {
+            self.stats.link_drops.inc();
+            return;
+        }
         if frame.dst != iface.cfg.mac && !frame.dst.is_broadcast() {
             self.stats.drop_l2.inc();
             return;
@@ -850,6 +906,12 @@ impl NetStack {
         };
         let _ = now;
         for frag in fragments {
+            if !self.ifaces[route.ifidx].up {
+                // Dead carrier: the frame is lost on the floor, exactly as
+                // on a real NIC with no link. Transports retransmit.
+                self.stats.link_drops.inc();
+                continue;
+            }
             let frame =
                 EthernetFrame::ipv4(dst_mac, src_mac, Bytes::from(frag.encode()));
             self.stats.frames_out.inc();

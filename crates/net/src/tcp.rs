@@ -65,6 +65,11 @@ pub struct TcpConfig {
     pub delack: SimTime,
     /// Lower bound for the retransmission timeout.
     pub min_rto: SimTime,
+    /// Consecutive RTO firings (no ACK progress in between) after which the
+    /// connection gives up and fails with [`TcpError::TimedOut`] instead of
+    /// backing off forever. With the default `min_rto` and exponential
+    /// backoff this bounds dead-peer detection to tens of seconds.
+    pub max_rto_retries: u32,
 }
 
 impl Default for TcpConfig {
@@ -77,8 +82,20 @@ impl Default for TcpConfig {
             init_cwnd_segs: 10,
             delack: SimTime::from_us(500),
             min_rto: SimTime::from_ms(200),
+            max_rto_retries: 8,
         }
     }
+}
+
+/// Why a connection failed terminally (it is [`TcpState::Closed`] and will
+/// never carry data again). Queried by the stack's dead-peer reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpError {
+    /// `max_rto_retries` consecutive retransmission timeouts expired with
+    /// no sign of the peer: it is unreachable or dead.
+    TimedOut,
+    /// The peer reset the connection (RST received).
+    PeerReset,
 }
 
 /// TCP connection state (RFC 793 names).
@@ -149,6 +166,10 @@ pub struct TcpConn {
     rttvar: f64,
     rto: SimTime,
     rto_backoff: u32,
+    /// Consecutive RTO firings with no ACK progress (unlike `rto_backoff`
+    /// this is not capped, so it can be compared against any retry budget).
+    consec_rtos: u32,
+    error: Option<TcpError>,
     rtx_deadline: Option<SimTime>,
     time_wait_deadline: Option<SimTime>,
     rtt_probe: Option<(u32, SimTime)>,
@@ -179,6 +200,8 @@ pub struct TcpStats {
     pub bytes_delivered: u64,
     /// Payload bytes accepted from the application.
     pub bytes_sent: u64,
+    /// Connections abandoned after `max_rto_retries` consecutive timeouts.
+    pub rto_giveups: u64,
 }
 
 impl TcpConn {
@@ -279,6 +302,8 @@ impl TcpConn {
             rttvar: 0.0,
             rto: SimTime::from_secs(1),
             rto_backoff: 0,
+            consec_rtos: 0,
+            error: None,
             rtx_deadline: None,
             time_wait_deadline: None,
             rtt_probe: None,
@@ -311,6 +336,12 @@ impl TcpConn {
     /// Statistics so far.
     pub fn stats(&self) -> &TcpStats {
         &self.stats
+    }
+
+    /// Why the connection failed terminally, if it did. `Some(..)` implies
+    /// [`TcpState::Closed`]; a clean FIN/FIN close leaves this `None`.
+    pub fn error(&self) -> Option<TcpError> {
+        self.error
     }
 
     /// Bytes the application could read right now.
@@ -485,6 +516,18 @@ impl TcpConn {
             );
         }
         self.stats.timeouts += 1;
+        self.consec_rtos = self.consec_rtos.saturating_add(1);
+        if self.consec_rtos > self.cfg.max_rto_retries {
+            // The peer has not acknowledged anything across the whole retry
+            // budget: declare it dead instead of retransmitting forever.
+            self.stats.rto_giveups += 1;
+            self.error = Some(TcpError::TimedOut);
+            self.state = TcpState::Closed;
+            self.rtx_deadline = None;
+            self.ack_deadline = None;
+            self.time_wait_deadline = None;
+            return;
+        }
         // Multiplicative decrease + slow-start restart (classic Reno RTO).
         let inflight = self.in_flight() as f64;
         self.ssthresh = (inflight / 2.0).max(2.0 * self.cfg.mss as f64);
@@ -606,6 +649,7 @@ impl TcpConn {
         let rto = self.srtt.expect("set") + 4.0 * self.rttvar;
         self.rto = SimTime::from_secs_f64(rto).max(self.cfg.min_rto);
         self.rto_backoff = 0;
+        self.consec_rtos = 0;
     }
 
     // ---------- segment input ----------
@@ -614,6 +658,9 @@ impl TcpConn {
     /// Checksum policy is the caller's: segments passed here are trusted.
     pub fn on_segment(&mut self, seg: &TcpSegment, now: SimTime) {
         if seg.flags.rst {
+            if !matches!(self.state, TcpState::Closed | TcpState::TimeWait) {
+                self.error = Some(TcpError::PeerReset);
+            }
             self.state = TcpState::Closed;
             return;
         }
@@ -631,6 +678,7 @@ impl TcpConn {
                     self.snd_wnd = (seg.window as u32) << self.peer_wscale;
                     self.state = TcpState::Established;
                     self.rtx_deadline = None;
+                    self.consec_rtos = 0;
                     self.need_ack_now = true;
                 }
             }
@@ -640,6 +688,7 @@ impl TcpConn {
                     self.snd_wnd = (seg.window as u32) << self.peer_wscale;
                     self.state = TcpState::Established;
                     self.rtx_deadline = None;
+                    self.consec_rtos = 0;
                     // Fall through to data processing: the ACK may carry data.
                     self.process_established(seg, now);
                 }
@@ -651,6 +700,10 @@ impl TcpConn {
     }
 
     fn process_established(&mut self, seg: &TcpSegment, now: SimTime) {
+        // Any segment from the peer proves the path and the peer are alive
+        // (e.g. zero-window ACKs that make no forward progress): the RTO
+        // give-up counter only accumulates across total silence.
+        self.consec_rtos = 0;
         // --- ACK side ---
         if seg.flags.ack {
             let ack = seg.ack;
@@ -658,6 +711,8 @@ impl TcpConn {
                 let acked = ack.wrapping_sub(self.snd_una);
                 self.advance_una(ack);
                 self.dupacks = 0;
+                // Any forward ACK progress proves the peer is alive.
+                self.consec_rtos = 0;
                 if let Some((probe_seq, sent_at)) = self.rtt_probe {
                     if seq_lt(probe_seq, ack) {
                         self.update_rtt((now - sent_at).as_secs_f64());

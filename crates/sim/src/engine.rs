@@ -128,6 +128,26 @@ pub trait ComponentExt: Component {
         }
         true
     }
+
+    /// Bounded retry: runs in slices whose lengths follow `backoff` until
+    /// `done` holds, returning `false` (instead of hanging or panicking)
+    /// once the attempt budget is exhausted. The replacement for ad-hoc
+    /// guard-counter loops in tests that wait for a condition under loss.
+    fn run_with_backoff<F>(&mut self, backoff: &mut crate::Backoff, mut done: F) -> bool
+    where
+        F: FnMut(&mut Self) -> bool,
+    {
+        loop {
+            if done(self) {
+                return true;
+            }
+            let Some(delay) = backoff.next_delay() else {
+                return false;
+            };
+            let deadline = self.now() + delay;
+            self.run_until(deadline);
+        }
+    }
 }
 
 impl<C: Component + ?Sized> ComponentExt for C {}

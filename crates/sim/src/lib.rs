@@ -40,11 +40,13 @@ mod time;
 pub mod diag;
 pub mod engine;
 pub mod fault;
+pub mod outage;
 pub mod stats;
 
 pub use diag::StallReport;
 pub use engine::{Activity, Component, ComponentExt, Engine, EngineStats, Wakeup, WakeupIndex};
 pub use fault::{FaultInjector, FaultKind, FaultPlan};
+pub use outage::{Backoff, OutageKind, OutagePlan, OutageSchedule};
 pub use queue::{EventHandle, EventQueue};
 pub use rng::DetRng;
 pub use time::SimTime;

@@ -1,0 +1,353 @@
+//! Deterministic hard-failure scheduling (crash, partition, reboot).
+//!
+//! Where [`fault`](crate::fault) models *transient* faults a component rolls
+//! for on its hot path (bit flips, drops, stalls), an [`OutagePlan`] models
+//! *hard* lifecycle events: a component goes away at a known simulated time
+//! and — usually — comes back later. Outages are declarative and seeded the
+//! same way fault plans are: events are declared against free-form component
+//! names, randomized schedules draw from a per-component stream forked from
+//! the plan's single seed (`DetRng::new(seed).fork(hash(component))`), so
+//! adding an outage to one component never perturbs another's schedule and
+//! two runs of the same plan produce identical chaos.
+//!
+//! System crates pull a component's slice of the plan with
+//! [`schedule`](OutagePlan::schedule) and fold the resulting
+//! [`OutageSchedule`] into their event loop: `next_at` participates in the
+//! wakeup computation, `pop_due` yields the events to apply.
+//!
+//! ```
+//! use mcn_sim::outage::{OutageKind, OutagePlan};
+//! use mcn_sim::SimTime;
+//!
+//! let mut plan = OutagePlan::new(42);
+//! plan.at("dimm0", SimTime::from_ms(2), OutageKind::DimmCrash {
+//!     down_for: SimTime::from_ms(1),
+//! });
+//! let mut sched = plan.schedule("dimm0");
+//! assert_eq!(sched.next_at(), Some(SimTime::from_ms(2)));
+//! assert!(sched.pop_due(SimTime::from_ms(1)).is_empty());
+//! assert_eq!(sched.pop_due(SimTime::from_ms(3)).len(), 1);
+//! assert!(sched.is_empty());
+//! ```
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use crate::{DetRng, SimTime};
+
+/// The hard events an [`OutagePlan`] can schedule. As with
+/// [`FaultKind`](crate::fault::FaultKind), the *meaning* is up to the
+/// component the event is declared against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutageKind {
+    /// An MCN DIMM's processor resets: SRAM rings, in-flight DMA and driver
+    /// port state are lost; power returns after `down_for` and the host
+    /// driver must re-initialise the DIMM before traffic flows again.
+    DimmCrash {
+        /// How long the DIMM stays dark before power returns.
+        down_for: SimTime,
+    },
+    /// A network link goes dark (frames in flight are lost, new sends are
+    /// dropped) and heals after `down_for`.
+    LinkDown {
+        /// How long the link stays dark.
+        down_for: SimTime,
+    },
+    /// The switch partitions its ports into isolated groups; forwarding
+    /// between groups drops until `heal_at` (an absolute time).
+    SwitchPartition {
+        /// Port groups; forwarding is allowed only within a group. Ports
+        /// not listed form an implicit extra group.
+        groups: Vec<Vec<usize>>,
+        /// Absolute simulated time the partition heals.
+        heal_at: SimTime,
+    },
+    /// A whole node (server) reboots: its uplink goes dark and every MCN
+    /// DIMM it hosts crashes; everything powers back on after `down_for`.
+    NodeReboot {
+        /// How long the node stays down.
+        down_for: SimTime,
+    },
+}
+
+/// FNV-1a; stable component-name → fork-stream mapping (identical to the
+/// fault plan's, so `"dimm0"` names the same seed-tree leaf in both).
+fn stream_of(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A seeded, declarative schedule of hard failures for a whole system.
+///
+/// Build one, declare events against *component names* (free-form strings;
+/// system crates document the names they query), then hand each component
+/// its slice with [`schedule`](Self::schedule).
+#[derive(Debug, Clone, Default)]
+pub struct OutagePlan {
+    seed: u64,
+    events: HashMap<String, Vec<(SimTime, OutageKind)>>,
+}
+
+impl OutagePlan {
+    /// An empty (inert) plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        OutagePlan {
+            seed,
+            events: HashMap::new(),
+        }
+    }
+
+    /// The seed every randomized schedule derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when no component has any event scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.values().all(|v| v.is_empty())
+    }
+
+    /// Schedules `kind` against `component` at absolute time `at`.
+    pub fn at(&mut self, component: &str, at: SimTime, kind: OutageKind) -> &mut Self {
+        self.events
+            .entry(component.to_string())
+            .or_default()
+            .push((at, kind));
+        self
+    }
+
+    /// Schedules `count` crashes of `component` at deterministic random
+    /// times in `window`, each down for a random duration in `down`. Times
+    /// and durations come from the component's forked stream, so schedules
+    /// for different components are independent and replayable.
+    pub fn random_crashes(
+        &mut self,
+        component: &str,
+        count: usize,
+        window: (SimTime, SimTime),
+        down: (SimTime, SimTime),
+    ) -> &mut Self {
+        let mut rng = DetRng::new(self.seed).fork(stream_of(component));
+        for _ in 0..count {
+            let at = SimTime::from_ps(rng.range(window.0.as_ps(), window.1.as_ps()));
+            let down_for = SimTime::from_ps(rng.range(down.0.as_ps(), down.1.as_ps()));
+            self.at(component, at, OutageKind::DimmCrash { down_for });
+        }
+        self
+    }
+
+    /// Carves out the schedule for `component`, sorted by time (ties keep
+    /// declaration order). Calling twice yields identical schedules.
+    pub fn schedule(&self, component: &str) -> OutageSchedule {
+        let mut events: Vec<(SimTime, OutageKind)> =
+            self.events.get(component).cloned().unwrap_or_default();
+        events.sort_by_key(|(t, _)| *t);
+        OutageSchedule {
+            events: events.into(),
+        }
+    }
+
+    /// The component names with at least one event.
+    pub fn components(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .events
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(k, _)| k.as_str())
+            .collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+/// A component's slice of an [`OutagePlan`]: a time-ordered queue of hard
+/// events. Fold [`next_at`](Self::next_at) into the component's wakeup and
+/// apply what [`pop_due`](Self::pop_due) returns.
+#[derive(Debug, Clone, Default)]
+pub struct OutageSchedule {
+    events: VecDeque<(SimTime, OutageKind)>,
+}
+
+impl OutageSchedule {
+    /// An empty schedule (no outages ever).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// When the next event is due, if any.
+    pub fn next_at(&self) -> Option<SimTime> {
+        self.events.front().map(|(t, _)| *t)
+    }
+
+    /// Pops every event due at or before `now`, in time order.
+    pub fn pop_due(&mut self, now: SimTime) -> Vec<(SimTime, OutageKind)> {
+        let mut due = Vec::new();
+        while self.events.front().is_some_and(|&(t, _)| t <= now) {
+            due.push(self.events.pop_front().expect("peeked"));
+        }
+        due
+    }
+
+    /// True once every event has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events still pending.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// Bounded exponential retry/backoff: the workspace's one implementation of
+/// "try, wait a doubling delay, give up after N attempts". The host driver's
+/// DIMM re-init handshake uses it for probe retries, and tests use it (via
+/// [`ComponentExt::run_with_backoff`](crate::ComponentExt::run_with_backoff))
+/// instead of hand-rolled guard-counter loops.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    initial: SimTime,
+    max_delay: SimTime,
+    max_attempts: u32,
+    attempts: u32,
+}
+
+impl Backoff {
+    /// A policy starting at `initial`, doubling per attempt up to
+    /// `max_delay`, allowing at most `max_attempts` delays.
+    pub fn new(initial: SimTime, max_delay: SimTime, max_attempts: u32) -> Self {
+        Backoff {
+            initial,
+            max_delay,
+            max_attempts,
+            attempts: 0,
+        }
+    }
+
+    /// The delay before the next attempt, or `None` once the attempt budget
+    /// is exhausted. Each call consumes one attempt.
+    pub fn next_delay(&mut self) -> Option<SimTime> {
+        if self.attempts >= self.max_attempts {
+            return None;
+        }
+        let shift = self.attempts.min(20);
+        self.attempts += 1;
+        let delay = SimTime::from_ps(
+            self.initial
+                .as_ps()
+                .saturating_mul(1u64 << shift)
+                .min(self.max_delay.as_ps()),
+        );
+        Some(delay)
+    }
+
+    /// Attempts consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Whether the attempt budget is exhausted.
+    pub fn exhausted(&self) -> bool {
+        self.attempts >= self.max_attempts
+    }
+
+    /// Resets the policy to attempt zero (e.g. after a success).
+    pub fn reset(&mut self) {
+        self.attempts = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut plan = OutagePlan::new(1);
+        plan.at(
+            "c",
+            SimTime::from_us(10),
+            OutageKind::LinkDown {
+                down_for: SimTime::from_us(1),
+            },
+        );
+        plan.at(
+            "c",
+            SimTime::from_us(5),
+            OutageKind::DimmCrash {
+                down_for: SimTime::from_us(2),
+            },
+        );
+        let mut s = plan.schedule("c");
+        assert_eq!(s.len(), 2);
+        let due = s.pop_due(SimTime::from_us(7));
+        assert_eq!(due.len(), 1);
+        assert!(matches!(due[0].1, OutageKind::DimmCrash { .. }));
+        assert_eq!(s.next_at(), Some(SimTime::from_us(10)));
+        assert_eq!(s.pop_due(SimTime::from_secs(1)).len(), 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn random_schedules_replay_and_are_independent() {
+        let mk = |seed| {
+            let mut plan = OutagePlan::new(seed);
+            plan.random_crashes(
+                "a",
+                3,
+                (SimTime::from_ms(1), SimTime::from_ms(10)),
+                (SimTime::from_us(100), SimTime::from_ms(1)),
+            );
+            plan.random_crashes(
+                "b",
+                3,
+                (SimTime::from_ms(1), SimTime::from_ms(10)),
+                (SimTime::from_us(100), SimTime::from_ms(1)),
+            );
+            plan
+        };
+        let p1 = mk(7);
+        let p2 = mk(7);
+        let times = |p: &OutagePlan, c: &str| {
+            let mut s = p.schedule(c);
+            s.pop_due(SimTime::from_secs(1))
+        };
+        assert_eq!(times(&p1, "a"), times(&p2, "a"), "same seed replays");
+        assert_ne!(
+            times(&p1, "a"),
+            times(&p1, "b"),
+            "components draw independent streams"
+        );
+        let p3 = mk(8);
+        assert_ne!(times(&p1, "a"), times(&p3, "a"), "seed changes schedule");
+        assert!(!p1.is_empty());
+        assert_eq!(p1.components(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn inert_plan_has_empty_schedules() {
+        let plan = OutagePlan::new(9);
+        assert!(plan.is_empty());
+        let s = plan.schedule("anything");
+        assert!(s.is_empty());
+        assert_eq!(s.next_at(), None);
+    }
+
+    #[test]
+    fn backoff_doubles_caps_and_exhausts() {
+        let mut b = Backoff::new(SimTime::from_us(10), SimTime::from_us(35), 4);
+        assert_eq!(b.next_delay(), Some(SimTime::from_us(10)));
+        assert_eq!(b.next_delay(), Some(SimTime::from_us(20)));
+        assert_eq!(b.next_delay(), Some(SimTime::from_us(35)), "capped");
+        assert_eq!(b.next_delay(), Some(SimTime::from_us(35)));
+        assert_eq!(b.attempts(), 4);
+        assert!(b.exhausted());
+        assert_eq!(b.next_delay(), None);
+        b.reset();
+        assert_eq!(b.next_delay(), Some(SimTime::from_us(10)));
+    }
+}

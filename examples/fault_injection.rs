@@ -3,21 +3,31 @@
 //! missing and MCN-DMA transfers stall — then read the recovery work off
 //! the driver counters.
 //!
-//! Run with: `cargo run --release --example fault_injection [seed] [drop_rate]`
+//! Run with:
+//! `cargo run --release --example fault_injection [seed] [drop_rate] [--outage]`
 //!
 //! The defaults (`seed=7`, `drop_rate=0.01`) finish byte-complete; crank
 //! the rate (e.g. `0.9`) to watch the run stall and print the stall
-//! report instead.
+//! report instead. With `--outage`, the DIMM additionally hard-crashes
+//! mid-run and reboots 5 ms later — the run still finishes byte-complete
+//! and the re-init handshake counters are printed.
 
 use mcn::{ComponentExt, McnConfig, McnSystem, SystemConfig};
 use mcn_mpi::{IperfClient, IperfReport, IperfServer};
 use mcn_sim::fault::{FaultKind, FaultPlan};
-use mcn_sim::SimTime;
+use mcn_sim::{OutageKind, OutagePlan, SimTime};
 
 const BYTES: u64 = 1 << 20;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let outage = if let Some(i) = args.iter().position(|a| a == "--outage") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let mut args = args.into_iter();
     let seed: u64 = args.next().map_or(7, |a| a.parse().expect("seed"));
     let drop: f64 = args.next().map_or(0.01, |a| a.parse().expect("drop rate"));
 
@@ -42,6 +52,17 @@ fn main() {
         dma: true,
     };
     let mut sys = McnSystem::with_faults(&SystemConfig::default(), 1, cfg, &plan);
+    if outage {
+        let mut oplan = OutagePlan::new(seed);
+        oplan.at(
+            &McnSystem::dimm_outage_component(0, 0),
+            SimTime::from_ms(1),
+            OutageKind::DimmCrash {
+                down_for: SimTime::from_ms(5),
+            },
+        );
+        sys.set_outage_plan(&oplan);
+    }
     let srv = IperfReport::shared();
     sys.spawn_host(
         Box::new(IperfServer::new(5001, 1, SimTime::ZERO, srv.clone())),
@@ -53,7 +74,10 @@ fn main() {
         Box::new(IperfClient::new(dst, 5001, BYTES, IperfReport::shared())),
         1,
     );
-    println!("iperf DIMM0 -> host, {BYTES} bytes, seed {seed}, drop {drop}");
+    println!(
+        "iperf DIMM0 -> host, {BYTES} bytes, seed {seed}, drop {drop}{}",
+        if outage { ", DIMM crash at 1ms (+5ms down)" } else { "" }
+    );
     if !sys.run_until_procs_done(SimTime::from_secs(10)) {
         println!("\n{}", sys.stall_report("fault_injection demo stalled"));
         println!("(expected at high rates: TCP cannot outrun the injector)");
@@ -77,4 +101,14 @@ fn main() {
         sys.host.stack.stats.drop_checksum.get(), sys.host.stack.stats.malformed.get(),
         sys.dimm(0).node.stack.stats.drop_checksum.get(),
         sys.dimm(0).node.stack.stats.malformed.get());
+    if outage {
+        println!("\nlifecycle  : crashes {} reboots {} (port up: {})",
+            d.crashes.get(), d.reboots.get(), sys.hdrv.port_is_up(0));
+        println!("handshake  : port downs {} probes {} (retries {}) ring resets {} mac announces {}",
+            h.port_downs.get(), h.probes_sent.get(), h.probe_retries.get(),
+            h.ring_resets.get(), h.mac_announces.get());
+        println!("             reinits completed {} failed {} stale descriptors dropped {}",
+            h.reinits_completed.get(), h.reinit_failures.get(),
+            h.stale_desc_dropped.get());
+    }
 }
