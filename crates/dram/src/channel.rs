@@ -5,6 +5,7 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
+use mcn_sim::metrics::{Instrumented, MetricSink};
 use mcn_sim::stats::{Counter, RateMeter};
 use mcn_sim::SimTime;
 
@@ -119,6 +120,19 @@ pub struct ChannelStats {
     pub busy_ps: Counter,
     /// Bytes moved (DRAM + SRAM), with first/last timestamps for bandwidth.
     pub traffic: RateMeter,
+}
+
+impl Instrumented for ChannelStats {
+    fn metrics(&self, out: &mut MetricSink) {
+        out.counter("reads", self.reads.get());
+        out.counter("writes", self.writes.get());
+        out.counter("activates", self.activates.get());
+        out.counter("precharges", self.precharges.get());
+        out.counter("refreshes", self.refreshes.get());
+        out.counter("sram_ops", self.sram_ops.get());
+        out.counter("busy_ps", self.busy_ps.get());
+        out.meter("traffic", &self.traffic);
+    }
 }
 
 impl ChannelStats {

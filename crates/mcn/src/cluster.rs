@@ -14,6 +14,7 @@ use mcn_net::tcp::TcpConfig;
 use mcn_net::{MacAddr, NetConfig};
 use mcn_node::nic::{Nic, NicConfig, NicEvent, NIC_WAITER};
 use mcn_node::{CostModel, Node, ProcId, Process};
+use mcn_sim::metrics::{Instrumented, MetricSink};
 use mcn_sim::{Activity, Component, Engine, EngineStats, SimTime, StallReport, Wakeup};
 
 use crate::config::SystemConfig;
@@ -190,19 +191,6 @@ impl EthernetCluster {
         self.engine.earliest().map(|x| x.max(self.now))
     }
 
-    /// Engine work counters for the cluster (node-block polls).
-    pub fn engine_stats(&self) -> EngineStats {
-        self.engine.stats
-    }
-
-    /// `(actual polls, scan-equivalent polls)` for the cluster engine.
-    pub fn poll_accounting(&self) -> (u64, u64) {
-        (
-            self.engine.stats.component_polls.get(),
-            self.engine.stats.scan_equivalent(self.nodes.len()),
-        )
-    }
-
     /// A structured snapshot of the cluster for stall debugging: each
     /// node's blocked processes and socket states, plus NIC/link timers.
     pub fn stall_report(&self, title: &str) -> StallReport {
@@ -339,6 +327,31 @@ impl Component for EthernetCluster {
     }
     fn procs_done(&self) -> bool {
         self.all_procs_done()
+    }
+    fn engine_accounting(&self, out: &mut Vec<(EngineStats, usize)>) {
+        out.push((self.engine.stats, self.nodes.len()));
+    }
+}
+
+impl Instrumented for EthernetCluster {
+    /// The baseline cluster tree: per node `node{N}.*` (the node's
+    /// cpu/mem/stack plus its NIC under `node{N}.nic.*`), per-node
+    /// uplink/downlink under `link{N}.up/.down`, the switch, the engine
+    /// and the clock.
+    fn metrics(&self, out: &mut MetricSink) {
+        out.counter("now_ps", self.now.as_ps());
+        out.absorb("switch", &self.switch);
+        for (i, cn) in self.nodes.iter().enumerate() {
+            out.scoped(&format!("node{i}"), |out| {
+                cn.node.metrics(out);
+                out.absorb("nic", &cn.nic);
+            });
+            out.scoped(&format!("link{i}"), |out| {
+                out.absorb("up", &self.up[i]);
+                out.absorb("down", &self.down[i]);
+            });
+        }
+        out.absorb("engine", &self.engine.stats);
     }
 }
 

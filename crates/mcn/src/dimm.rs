@@ -28,6 +28,7 @@ use mcn_net::{EthernetFrame, MacAddr, NetConfig};
 use mcn_node::mem::{Pattern, Transfer};
 use mcn_node::{CostModel, JobId, Node, WaiterId};
 use mcn_sim::fault::{FaultInjector, FaultKind};
+use mcn_sim::metrics::{Instrumented, MetricSink};
 use mcn_sim::stats::{Counter, Histogram};
 use mcn_sim::SimTime;
 
@@ -657,6 +658,33 @@ impl mcn_sim::Wakeup for McnDimm {
     /// Earliest staged driver deadline or node-level event.
     fn next_wakeup(&self) -> Option<SimTime> {
         self.next_event()
+    }
+}
+
+impl Instrumented for DimmDriverStats {
+    fn metrics(&self, out: &mut MetricSink) {
+        out.counter("tx_frames", self.tx_frames.get());
+        out.counter("rx_frames", self.rx_frames.get());
+        out.counter("irqs", self.irqs.get());
+        out.counter("tx_busy_events", self.tx_busy_events.get());
+        out.histogram("driver_tx", &self.driver_tx);
+        out.histogram("driver_rx", &self.driver_rx);
+        out.counter("ecc_escapes", self.ecc_escapes.get());
+        out.counter("frames_dropped", self.frames_dropped.get());
+        out.counter("malformed", self.malformed.get());
+        out.counter("ring_full_drops", self.ring_full_drops.get());
+        out.counter("unknown_jobs", self.unknown_jobs.get());
+        out.counter("crashes", self.crashes.get());
+        out.counter("reboots", self.reboots.get());
+    }
+}
+
+impl Instrumented for McnDimm {
+    /// The node's tree (cpu/mem/stack) at this scope plus the MCN-side
+    /// driver under `driver.*`.
+    fn metrics(&self, out: &mut MetricSink) {
+        self.node.metrics(out);
+        out.absorb("driver", &self.stats);
     }
 }
 

@@ -11,6 +11,7 @@ use std::net::Ipv4Addr;
 
 use mcn_net::{EthernetFrame, MacAddr};
 use mcn_node::WaiterId;
+use mcn_sim::metrics::{Instrumented, MetricSink};
 use mcn_sim::stats::{Counter, Histogram};
 use mcn_sim::SimTime;
 
@@ -231,6 +232,57 @@ pub struct HostDriverStats {
     /// Stale descriptors (pre-crash SRAM state the host still believed in)
     /// discarded instead of consumed during recovery.
     pub stale_desc_dropped: Counter,
+}
+
+impl Instrumented for HostDriverStats {
+    fn metrics(&self, out: &mut MetricSink) {
+        out.counter("tx_frames", self.tx_frames.get());
+        out.counter("rx_frames", self.rx_frames.get());
+        out.counter("f1_host", self.f1_host.get());
+        out.counter("f2_broadcast", self.f2_broadcast.get());
+        out.counter("f3_forward", self.f3_forward.get());
+        out.counter("f4_external", self.f4_external.get());
+        out.counter("polls", self.polls.get());
+        out.counter("alerts", self.alerts.get());
+        out.counter("tx_busy_events", self.tx_busy_events.get());
+        out.histogram("driver_tx", &self.driver_tx);
+        out.histogram("driver_rx", &self.driver_rx);
+        out.counter("ecc_escapes", self.ecc_escapes.get());
+        out.counter("frames_dropped", self.frames_dropped.get());
+        out.counter("alerts_dropped", self.alerts_dropped.get());
+        out.counter("alerts_delayed", self.alerts_delayed.get());
+        out.counter("dma_stalls", self.dma_stalls.get());
+        out.counter("fallback_polls", self.fallback_polls.get());
+        out.counter("alert_recoveries", self.alert_recoveries.get());
+        out.counter("dma_retries", self.dma_retries.get());
+        out.counter("dma_fallbacks", self.dma_fallbacks.get());
+        out.counter("malformed", self.malformed.get());
+        out.counter("ring_full_drops", self.ring_full_drops.get());
+        out.counter("unknown_jobs", self.unknown_jobs.get());
+        out.counter("port_downs", self.port_downs.get());
+        out.counter("probes_sent", self.probes_sent.get());
+        out.counter("probe_retries", self.probe_retries.get());
+        out.counter("ring_resets", self.ring_resets.get());
+        out.counter("mac_announces", self.mac_announces.get());
+        out.counter("reinits_completed", self.reinits_completed.get());
+        out.counter("reinit_failures", self.reinit_failures.get());
+        out.counter("stale_desc_dropped", self.stale_desc_dropped.get());
+    }
+}
+
+impl Instrumented for HostDriver {
+    /// All the driver counters plus the current port link states (a gauge:
+    /// `ports_up` can go down as well as up).
+    fn metrics(&self, out: &mut MetricSink) {
+        self.stats.metrics(out);
+        out.counter("ports", self.ports.len() as u64);
+        out.counter(
+            "ports_up",
+            (0..self.ports.len())
+                .filter(|&p| self.port_is_up(p))
+                .count() as u64,
+        );
+    }
 }
 
 /// Host-side driver state for all DIMMs.

@@ -71,6 +71,11 @@ pub use system::McnSystem;
 
 // Engine traits every driver of a system/rack/cluster needs in scope:
 // `Component` for `advance`/`next_event`, `ComponentExt` for the shared
-// `step`/`run_until`/`run_until_procs_done` drivers.
-pub use mcn_sim::{Activity, Component, ComponentExt};
+// `step`/`run_until`/`run_until_procs_done` drivers (and the hoisted
+// `engine_stats`/`poll_accounting` accessors). The metrics registry types
+// ride along so harnesses can snapshot any orchestrator without naming
+// `mcn_sim` directly.
+pub use mcn_sim::{
+    Activity, Component, ComponentExt, Instrumented, MetricSink, MetricValue, MetricsSnapshot,
+};
 

@@ -16,6 +16,7 @@ use mcn_node::nic::{Nic, NicConfig, NicEvent, NIC_WAITER};
 use mcn_node::ProcId;
 use mcn_node::Process;
 use mcn_sim::stats::Counter;
+use mcn_sim::metrics::{Instrumented, MetricSink};
 use mcn_sim::{
     Activity, Component, Engine, EngineStats, EventQueue, OutageKind, OutagePlan, SimTime,
     StallReport, Wakeup,
@@ -363,26 +364,6 @@ impl McnRack {
         t.map(|x| x.max(self.now))
     }
 
-    /// Engine work counters for the rack layer (server-block polls).
-    pub fn engine_stats(&self) -> EngineStats {
-        self.engine.stats
-    }
-
-    /// `(actual polls, scan-equivalent polls)` aggregated over the rack
-    /// layer and every server's own engine.
-    pub fn poll_accounting(&self) -> (u64, u64) {
-        let (mut actual, mut scan) = (
-            self.engine.stats.component_polls.get(),
-            self.engine.stats.scan_equivalent(self.servers.len()),
-        );
-        for srv in &self.servers {
-            let (a, s) = srv.poll_accounting();
-            actual += a;
-            scan += s;
-        }
-        (actual, scan)
-    }
-
     /// A structured snapshot of the whole rack for stall debugging: every
     /// server's [`McnSystem::stall_report`] folded in under a `srv{s}.`
     /// prefix, plus a `wire` section with NIC/link timers.
@@ -572,6 +553,42 @@ impl Component for McnRack {
     }
     fn procs_done(&self) -> bool {
         self.all_procs_done()
+    }
+    fn engine_accounting(&self, out: &mut Vec<(EngineStats, usize)>) {
+        out.push((self.engine.stats, self.servers.len()));
+        for srv in &self.servers {
+            srv.engine_accounting(out);
+        }
+    }
+}
+
+impl Instrumented for McnRack {
+    /// The whole rack tree: each server's [`McnSystem`] registry under
+    /// `srv{N}.*` (identical to its standalone paths), the rack-layer
+    /// outage counters under `rack.*`, the ToR switch, each server's NIC
+    /// (`nic{N}.*`) and uplink/downlink (`link{N}.up/.down`), the rack
+    /// engine and the clock.
+    fn metrics(&self, out: &mut MetricSink) {
+        out.counter("now_ps", self.now.as_ps());
+        out.scoped("rack", |out| {
+            out.counter("partition_drops", self.stats.partition_drops.get());
+            out.counter("uplink_drops", self.stats.uplink_drops.get());
+            out.counter("link_downs", self.stats.link_downs.get());
+            out.counter("partitions", self.stats.partitions.get());
+            out.counter("node_reboots", self.stats.node_reboots.get());
+        });
+        out.absorb("switch", &self.switch);
+        for (s, srv) in self.servers.iter().enumerate() {
+            out.absorb(&format!("srv{s}"), srv);
+        }
+        for s in 0..self.servers.len() {
+            out.absorb(&format!("nic{s}"), &self.nics[s]);
+            out.scoped(&format!("link{s}"), |out| {
+                out.absorb("up", &self.up[s]);
+                out.absorb("down", &self.down[s]);
+            });
+        }
+        out.absorb("engine", &self.engine.stats);
     }
 }
 

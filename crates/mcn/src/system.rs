@@ -31,6 +31,7 @@ use mcn_node::mem::{Pattern, Transfer};
 use mcn_node::nic::{rx_protocol_cost, tx_protocol_cost};
 use mcn_node::{CostModel, JobId, Node, ProcId, Process};
 use mcn_sim::fault::{FaultInjector, FaultKind, FaultPlan};
+use mcn_sim::metrics::{Instrumented, MetricSink};
 use mcn_sim::{
     Activity, Component, Engine, EngineStats, EventQueue, OutageKind, OutagePlan, SimTime,
     StallReport, Wakeup,
@@ -644,21 +645,6 @@ impl McnSystem {
             (a, b) => a.or(b),
         };
         t.map(|x| x.max(self.now))
-    }
-
-    /// Engine work counters (polls, rounds, advances).
-    pub fn engine_stats(&self) -> EngineStats {
-        self.engine.stats
-    }
-
-    /// `(actual component polls, scan-equivalent polls)`: what the dirty
-    /// list issued versus what the old sweep-everything loop would have.
-    pub fn poll_accounting(&self) -> (u64, u64) {
-        let n = 1 + self.dimms.len();
-        (
-            self.engine.stats.component_polls.get(),
-            self.engine.stats.scan_equivalent(n),
-        )
     }
 
     /// Processes everything due at time `t`.
@@ -1431,6 +1417,28 @@ impl Component for McnSystem {
     }
     fn procs_done(&self) -> bool {
         self.all_procs_done()
+    }
+    fn engine_accounting(&self, out: &mut Vec<(EngineStats, usize)>) {
+        out.push((self.engine.stats, 1 + self.dimms.len()));
+    }
+}
+
+impl Instrumented for McnSystem {
+    /// The server's whole counter tree, rooted at this scope: `host.*`
+    /// (CPU, memory channels, stack + TCP), `driver.*` (the host-side MCN
+    /// driver), `dimm{M}.*` per DIMM, `engine.*` scheduler work and the
+    /// current clock as `now_ps` — so a snapshot diff carries elapsed
+    /// simulated time alongside the counters. A rack absorbs this same
+    /// tree under `srv{N}`, which is what keeps paths stable across
+    /// standalone and embedded use.
+    fn metrics(&self, out: &mut MetricSink) {
+        out.counter("now_ps", self.now.as_ps());
+        out.absorb("host", &self.host);
+        out.absorb("driver", &self.hdrv);
+        for (d, dimm) in self.dimms.iter().enumerate() {
+            out.absorb(&format!("dimm{d}"), dimm);
+        }
+        out.absorb("engine", &self.engine.stats);
     }
 }
 

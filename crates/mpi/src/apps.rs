@@ -10,6 +10,7 @@ use parking_lot::Mutex;
 
 use mcn_net::SockId;
 use mcn_node::{Poll, ProcCtx, Process, Wake};
+use mcn_sim::metrics::{Instrumented, MetricSink};
 use mcn_sim::stats::{Histogram, RateMeter};
 use mcn_sim::SimTime;
 
@@ -27,6 +28,15 @@ impl IperfReport {
     /// A fresh shared cell.
     pub fn shared() -> Arc<Mutex<IperfReport>> {
         Arc::new(Mutex::new(IperfReport::default()))
+    }
+}
+
+impl Instrumented for IperfReport {
+    /// The measurement window (`goodput.bytes` / `goodput.elapsed_ps`) and
+    /// whether the endpoint finished.
+    fn metrics(&self, out: &mut MetricSink) {
+        out.meter("goodput", &self.meter);
+        out.counter("done", self.done as u64);
     }
 }
 

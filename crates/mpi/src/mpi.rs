@@ -23,6 +23,7 @@ use std::net::Ipv4Addr;
 
 use mcn_net::SockId;
 use mcn_node::{ProcCtx, Wake};
+use mcn_sim::metrics::{Instrumented, MetricSink};
 
 /// Tag space: user tags must stay below this; collectives use the space
 /// above, keyed by generation and round.
@@ -388,6 +389,30 @@ impl MpiRank {
             }
         }
         self.progress(ctx);
+    }
+}
+
+impl Instrumented for MpiRank {
+    /// Liveness accounting for one endpoint: total redials consumed, the
+    /// per-peer breakdown (`peer{J}.reconnects`), and how many peers this
+    /// rank has declared dead.
+    fn metrics(&self, out: &mut MetricSink) {
+        out.counter("rank", self.rank as u64);
+        out.counter("size", self.size as u64);
+        out.counter(
+            "reconnects",
+            self.reconnects.iter().map(|&r| r as u64).sum(),
+        );
+        out.counter(
+            "failed_peers",
+            self.failed.iter().filter(|&&f| f).count() as u64,
+        );
+        for (p, &r) in self.reconnects.iter().enumerate() {
+            out.scoped(&format!("peer{p}"), |out| {
+                out.counter("reconnects", r as u64);
+                out.counter("failed", self.failed[p] as u64);
+            });
+        }
     }
 }
 

@@ -21,6 +21,7 @@ use parking_lot::Mutex;
 
 use mcn_node::mem::Access;
 use mcn_node::{JobId, Poll, ProcCtx, Process, Wake};
+use mcn_sim::metrics::{Instrumented, MetricSink};
 use mcn_sim::{DetRng, SimTime};
 
 use crate::mpi::{Allreduce, Alltoall, Barrier, MpiError, MpiRank};
@@ -288,6 +289,28 @@ impl WorkloadReport {
     /// The first recorded abort cause, if any rank gave up.
     pub fn first_failure(&self) -> Option<MpiError> {
         self.failures.iter().flatten().next().copied()
+    }
+}
+
+impl Instrumented for WorkloadReport {
+    /// Job-level outcome counters: rank totals, completions, failures,
+    /// verification, and the slowest-rank completion time (`0` until every
+    /// rank has finished).
+    fn metrics(&self, out: &mut MetricSink) {
+        out.counter("ranks", self.finished.len() as u64);
+        out.counter(
+            "ranks_finished",
+            self.finished.iter().filter(|f| f.is_some()).count() as u64,
+        );
+        out.counter(
+            "ranks_failed",
+            self.failures.iter().filter(|f| f.is_some()).count() as u64,
+        );
+        out.counter("verified", self.verified as u64);
+        out.counter(
+            "completion_ps",
+            self.completion().map_or(0, |t| t.as_ps()),
+        );
     }
 }
 

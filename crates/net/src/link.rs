@@ -36,6 +36,7 @@ impl Ord for InFlight {
 }
 
 use mcn_sim::fault::{FaultInjector, FaultKind, FaultPlan};
+use mcn_sim::metrics::{Instrumented, MetricSink};
 use mcn_sim::stats::Counter;
 use mcn_sim::SimTime;
 
@@ -235,6 +236,23 @@ impl mcn_sim::Wakeup for Link {
     /// The earliest in-flight frame arrival.
     fn next_wakeup(&self) -> Option<SimTime> {
         self.next_arrival()
+    }
+}
+
+impl Instrumented for Link {
+    fn metrics(&self, out: &mut MetricSink) {
+        out.counter("sent", self.sent.get());
+        out.counter("bytes", self.bytes.get());
+        out.counter("dropped", self.dropped.get());
+        out.counter("corrupted", self.corrupted.get());
+        out.counter("delayed", self.delayed.get());
+    }
+}
+
+impl Instrumented for Switch {
+    fn metrics(&self, out: &mut MetricSink) {
+        out.counter("forwarded", self.forwarded.get());
+        out.counter("flooded", self.flooded.get());
     }
 }
 

@@ -5,6 +5,7 @@ use std::net::Ipv4Addr;
 
 use bytes::Bytes;
 
+use mcn_sim::metrics::{Instrumented, MetricSink};
 use mcn_sim::stats::Counter;
 use mcn_sim::SimTime;
 
@@ -1026,6 +1027,23 @@ impl mcn_sim::Wakeup for NetStack {
             return Some(SimTime::ZERO);
         }
         self.next_timer()
+    }
+}
+
+impl Instrumented for NetStack {
+    /// The stack's own drop/deliver counters plus the TCP totals of every
+    /// socket (live and closed) under `tcp.*`.
+    fn metrics(&self, out: &mut MetricSink) {
+        out.counter("frames_in", self.stats.frames_in.get());
+        out.counter("frames_out", self.stats.frames_out.get());
+        out.counter("drop_l2", self.stats.drop_l2.get());
+        out.counter("drop_checksum", self.stats.drop_checksum.get());
+        out.counter("drop_not_local", self.stats.drop_not_local.get());
+        out.counter("drop_no_socket", self.stats.drop_no_socket.get());
+        out.counter("malformed", self.stats.malformed.get());
+        out.counter("echo_replies", self.stats.echo_replies.get());
+        out.counter("link_drops", self.stats.link_drops.get());
+        out.absorb("tcp", &self.tcp_totals());
     }
 }
 

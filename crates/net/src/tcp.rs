@@ -30,6 +30,7 @@ use std::net::Ipv4Addr;
 
 use bytes::Bytes;
 
+use mcn_sim::metrics::{Instrumented, MetricSink};
 use mcn_sim::SimTime;
 
 use crate::tcp_wire::{TcpFlags, TcpSegment};
@@ -202,6 +203,19 @@ pub struct TcpStats {
     pub bytes_sent: u64,
     /// Connections abandoned after `max_rto_retries` consecutive timeouts.
     pub rto_giveups: u64,
+}
+
+impl Instrumented for TcpStats {
+    fn metrics(&self, out: &mut MetricSink) {
+        out.counter("data_segs_out", self.data_segs_out);
+        out.counter("retransmits", self.retransmits);
+        out.counter("fast_retransmits", self.fast_retransmits);
+        out.counter("timeouts", self.timeouts);
+        out.counter("acks_out", self.acks_out);
+        out.counter("bytes_delivered", self.bytes_delivered);
+        out.counter("bytes_sent", self.bytes_sent);
+        out.counter("rto_giveups", self.rto_giveups);
+    }
 }
 
 impl TcpConn {

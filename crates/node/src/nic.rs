@@ -24,6 +24,7 @@ use std::collections::{HashMap, VecDeque};
 
 use mcn_dram::{MemKind, Target};
 use mcn_net::EthernetFrame;
+use mcn_sim::metrics::{Instrumented, MetricSink};
 use mcn_sim::stats::{Counter, Histogram};
 use mcn_sim::SimTime;
 
@@ -363,6 +364,19 @@ impl mcn_sim::Wakeup for Nic {
     /// system, not here.
     fn next_wakeup(&self) -> Option<SimTime> {
         self.next_event()
+    }
+}
+
+impl Instrumented for Nic {
+    fn metrics(&self, out: &mut MetricSink) {
+        out.counter("tx_frames", self.tx_frames.get());
+        out.counter("rx_frames", self.rx_frames.get());
+        out.counter("fcs_drops", self.fcs_drops.get());
+        out.counter("irqs", self.irqs.get());
+        out.histogram("driver_tx", &self.breakdown.driver_tx);
+        out.histogram("dma_tx", &self.breakdown.dma_tx);
+        out.histogram("dma_rx", &self.breakdown.dma_rx);
+        out.histogram("driver_rx", &self.breakdown.driver_rx);
     }
 }
 

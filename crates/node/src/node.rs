@@ -3,6 +3,7 @@
 use mcn_dram::DramConfig;
 use mcn_net::tcp::TcpConfig;
 use mcn_net::{NetStack, SocketEvent};
+use mcn_sim::metrics::{Instrumented, MetricSink};
 use mcn_sim::SimTime;
 
 use crate::cost::CostModel;
@@ -122,6 +123,22 @@ impl mcn_sim::Wakeup for Node {
     /// driver.
     fn next_wakeup(&self) -> Option<SimTime> {
         self.next_event()
+    }
+}
+
+impl Instrumented for Node {
+    /// Everything a node can report: CPU busy time, per-channel memory
+    /// counters and the whole network stack (including TCP totals).
+    fn metrics(&self, out: &mut MetricSink) {
+        out.scoped("cpu", |out| {
+            out.counter("busy_ps", self.cpus.total_busy().as_ps());
+        });
+        out.scoped("mem", |out| {
+            for (i, ch) in self.mem.channels().iter().enumerate() {
+                out.absorb(&format!("ch{i}"), ch.stats());
+            }
+        });
+        out.absorb("stack", &self.stack);
     }
 }
 

@@ -24,6 +24,7 @@
 
 use std::collections::VecDeque;
 
+use crate::metrics::{Instrumented, MetricSink};
 use crate::queue::{EventHandle, EventQueue};
 use crate::stats::Counter;
 use crate::SimTime;
@@ -84,6 +85,16 @@ pub trait Component {
     /// report `true`.
     fn procs_done(&self) -> bool {
         true
+    }
+
+    /// Engine accounting for this component tree: implementors that own
+    /// an [`Engine`] push `(its stats, its component count)` — their own
+    /// entry first — then recurse into embedded engine-driven children.
+    /// The shared [`ComponentExt::engine_stats`] /
+    /// [`ComponentExt::poll_accounting`] accessors read this; leaf
+    /// components without an engine keep the default no-op.
+    fn engine_accounting(&self, out: &mut Vec<(EngineStats, usize)>) {
+        let _ = out;
     }
 }
 
@@ -147,6 +158,32 @@ pub trait ComponentExt: Component {
             let deadline = self.now() + delay;
             self.run_until(deadline);
         }
+    }
+
+    /// This component's own engine work counters (the first
+    /// [`Component::engine_accounting`] entry; zeros for engine-less
+    /// components). The single implementation of the accessor the
+    /// orchestrators used to copy-paste.
+    fn engine_stats(&self) -> EngineStats {
+        let mut v = Vec::new();
+        self.engine_accounting(&mut v);
+        v.first().map(|(s, _)| *s).unwrap_or_default()
+    }
+
+    /// Poll-efficiency accounting over the whole component tree:
+    /// `(actual component polls, scan-equivalent polls)` summed across
+    /// every engine reported by [`Component::engine_accounting`]. The
+    /// scan-equivalent is what the pre-engine scan-everything loops would
+    /// have issued for the same work.
+    fn poll_accounting(&self) -> (u64, u64) {
+        let mut v = Vec::new();
+        self.engine_accounting(&mut v);
+        v.iter().fold((0, 0), |(actual, scan), (stats, n)| {
+            (
+                actual + stats.component_polls.get(),
+                scan + stats.scan_equivalent(*n),
+            )
+        })
     }
 }
 
@@ -247,6 +284,14 @@ impl EngineStats {
     /// `advance` — swept all `n` components.
     pub fn scan_equivalent(&self, n: usize) -> u64 {
         (self.rounds.get() + self.advances.get()) * n as u64
+    }
+}
+
+impl Instrumented for EngineStats {
+    fn metrics(&self, out: &mut MetricSink) {
+        out.counter("component_polls", self.component_polls.get());
+        out.counter("rounds", self.rounds.get());
+        out.counter("advances", self.advances.get());
     }
 }
 
@@ -548,6 +593,48 @@ mod tests {
         e.mark_stale(1);
         e.mark_stale(1);
         assert_eq!(e.drain_stale(), vec![1]);
+    }
+
+    #[test]
+    fn hoisted_accounting_sums_nested_engines() {
+        /// Two-level tree: an orchestrator with its own engine embedding
+        /// one child orchestrator (the system-inside-rack shape).
+        struct Nested {
+            own: EngineStats,
+            child: EngineStats,
+        }
+        impl Component for Nested {
+            fn now(&self) -> SimTime {
+                SimTime::ZERO
+            }
+            fn next_event(&mut self) -> Option<SimTime> {
+                None
+            }
+            fn advance(&mut self, _t: SimTime) -> Activity {
+                Activity::Idle
+            }
+            fn engine_accounting(&self, out: &mut Vec<(EngineStats, usize)>) {
+                out.push((self.own, 4));
+                out.push((self.child, 2));
+            }
+        }
+        let mut n = Nested {
+            own: EngineStats::default(),
+            child: EngineStats::default(),
+        };
+        n.own.component_polls.add(10);
+        n.own.rounds.add(3);
+        n.own.advances.add(2);
+        n.child.component_polls.add(5);
+        n.child.rounds.add(1);
+        n.child.advances.add(1);
+        assert_eq!(n.engine_stats().component_polls.get(), 10, "own entry first");
+        let (actual, scan) = n.poll_accounting();
+        assert_eq!(actual, 15);
+        assert_eq!(scan, (3 + 2) * 4 + (1 + 1) * 2);
+        // Engine-less components report zeros, not a panic.
+        assert_eq!(ticker(1).poll_accounting(), (0, 0));
+        assert_eq!(ticker(1).engine_stats().rounds.get(), 0);
     }
 
     #[test]

@@ -40,12 +40,14 @@ mod time;
 pub mod diag;
 pub mod engine;
 pub mod fault;
+pub mod metrics;
 pub mod outage;
 pub mod stats;
 
 pub use diag::StallReport;
 pub use engine::{Activity, Component, ComponentExt, Engine, EngineStats, Wakeup, WakeupIndex};
 pub use fault::{FaultInjector, FaultKind, FaultPlan};
+pub use metrics::{Instrumented, MetricSink, MetricValue, MetricsSnapshot};
 pub use outage::{Backoff, OutageKind, OutagePlan, OutageSchedule};
 pub use queue::{EventHandle, EventQueue};
 pub use rng::DetRng;

@@ -1,18 +1,22 @@
 //! Deterministic fault injection on the MCN data path: run an iperf
 //! stream while the SRAM rings drop and corrupt frames, ALERT_N edges go
 //! missing and MCN-DMA transfers stall — then read the recovery work off
-//! the driver counters.
+//! the metrics registry.
 //!
 //! Run with:
-//! `cargo run --release --example fault_injection [seed] [drop_rate] [--outage]`
+//! `cargo run --release --example fault_injection [seed] [drop_rate] [--outage] [--json]`
 //!
 //! The defaults (`seed=7`, `drop_rate=0.01`) finish byte-complete; crank
 //! the rate (e.g. `0.9`) to watch the run stall and print the stall
 //! report instead. With `--outage`, the DIMM additionally hard-crashes
 //! mid-run and reboots 5 ms later — the run still finishes byte-complete
-//! and the re-init handshake counters are printed.
+//! and the re-init handshake counters are printed. With `--json`, the
+//! full [`MetricsSnapshot`] of the system (plus the iperf report under
+//! `iperf_server.*`) is emitted instead of the human-readable summary.
 
-use mcn::{ComponentExt, McnConfig, McnSystem, SystemConfig};
+use mcn::{
+    ComponentExt, Instrumented, McnConfig, McnSystem, MetricSink, MetricsSnapshot, SystemConfig,
+};
 use mcn_mpi::{IperfClient, IperfReport, IperfServer};
 use mcn_sim::fault::{FaultKind, FaultPlan};
 use mcn_sim::{OutageKind, OutagePlan, SimTime};
@@ -21,12 +25,16 @@ const BYTES: u64 = 1 << 20;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let outage = if let Some(i) = args.iter().position(|a| a == "--outage") {
-        args.remove(i);
-        true
-    } else {
-        false
+    let mut flag = |name: &str| {
+        if let Some(i) = args.iter().position(|a| a == name) {
+            args.remove(i);
+            true
+        } else {
+            false
+        }
     };
+    let outage = flag("--outage");
+    let json = flag("--json");
     let mut args = args.into_iter();
     let seed: u64 = args.next().map_or(7, |a| a.parse().expect("seed"));
     let drop: f64 = args.next().map_or(0.01, |a| a.parse().expect("drop rate"));
@@ -74,41 +82,66 @@ fn main() {
         Box::new(IperfClient::new(dst, 5001, BYTES, IperfReport::shared())),
         1,
     );
-    println!(
-        "iperf DIMM0 -> host, {BYTES} bytes, seed {seed}, drop {drop}{}",
-        if outage { ", DIMM crash at 1ms (+5ms down)" } else { "" }
-    );
+    if !json {
+        println!(
+            "iperf DIMM0 -> host, {BYTES} bytes, seed {seed}, drop {drop}{}",
+            if outage { ", DIMM crash at 1ms (+5ms down)" } else { "" }
+        );
+    }
     if !sys.run_until_procs_done(SimTime::from_secs(10)) {
-        println!("\n{}", sys.stall_report("fault_injection demo stalled"));
-        println!("(expected at high rates: TCP cannot outrun the injector)");
+        if json {
+            print!("{}", snapshot(&sys, &srv).to_json());
+        } else {
+            println!("\n{}", sys.stall_report("fault_injection demo stalled"));
+            println!("(expected at high rates: TCP cannot outrun the injector)");
+        }
         return;
     }
 
-    let bytes = srv.lock().meter.bytes();
+    let snap = snapshot(&sys, &srv);
+    if json {
+        print!("{}", snap.to_json());
+        return;
+    }
+
+    // The human-readable summary reads the same registry the JSON mode
+    // dumps — exact paths, so a renamed counter fails here instead of
+    // silently printing zero.
+    let bytes = snap.get_u64("iperf_server.goodput.bytes");
     println!("delivered {bytes} bytes in {} (byte-complete: {})",
         sys.now(), bytes == BYTES);
-    let h = &sys.hdrv.stats;
-    let d = &sys.dimm(0).stats;
     println!("\ninjected   : host drops {} flips {} | dimm drops {} flips {}",
-        h.frames_dropped.get(), h.ecc_escapes.get(),
-        d.frames_dropped.get(), d.ecc_escapes.get());
+        snap.get_u64("driver.frames_dropped"), snap.get_u64("driver.ecc_escapes"),
+        snap.get_u64("dimm0.driver.frames_dropped"), snap.get_u64("dimm0.driver.ecc_escapes"));
     println!("alert path : dropped {} delayed {} fallback polls {} recoveries {}",
-        h.alerts_dropped.get(), h.alerts_delayed.get(),
-        h.fallback_polls.get(), h.alert_recoveries.get());
+        snap.get_u64("driver.alerts_dropped"), snap.get_u64("driver.alerts_delayed"),
+        snap.get_u64("driver.fallback_polls"), snap.get_u64("driver.alert_recoveries"));
     println!("dma path   : stalls {} retries {} cpu-copy fallbacks {}",
-        h.dma_stalls.get(), h.dma_retries.get(), h.dma_fallbacks.get());
+        snap.get_u64("driver.dma_stalls"), snap.get_u64("driver.dma_retries"),
+        snap.get_u64("driver.dma_fallbacks"));
     println!("caught     : host cksum drops {} malformed {} | dimm cksum drops {} malformed {}",
-        sys.host.stack.stats.drop_checksum.get(), sys.host.stack.stats.malformed.get(),
-        sys.dimm(0).node.stack.stats.drop_checksum.get(),
-        sys.dimm(0).node.stack.stats.malformed.get());
+        snap.get_u64("host.stack.drop_checksum"), snap.get_u64("host.stack.malformed"),
+        snap.get_u64("dimm0.stack.drop_checksum"),
+        snap.get_u64("dimm0.stack.malformed"));
     if outage {
         println!("\nlifecycle  : crashes {} reboots {} (port up: {})",
-            d.crashes.get(), d.reboots.get(), sys.hdrv.port_is_up(0));
+            snap.get_u64("dimm0.driver.crashes"), snap.get_u64("dimm0.driver.reboots"),
+            snap.get_u64("driver.ports_up") == snap.get_u64("driver.ports"));
         println!("handshake  : port downs {} probes {} (retries {}) ring resets {} mac announces {}",
-            h.port_downs.get(), h.probes_sent.get(), h.probe_retries.get(),
-            h.ring_resets.get(), h.mac_announces.get());
+            snap.get_u64("driver.port_downs"), snap.get_u64("driver.probes_sent"),
+            snap.get_u64("driver.probe_retries"), snap.get_u64("driver.ring_resets"),
+            snap.get_u64("driver.mac_announces"));
         println!("             reinits completed {} failed {} stale descriptors dropped {}",
-            h.reinits_completed.get(), h.reinit_failures.get(),
-            h.stale_desc_dropped.get());
+            snap.get_u64("driver.reinits_completed"), snap.get_u64("driver.reinit_failures"),
+            snap.get_u64("driver.stale_desc_dropped"));
     }
+}
+
+/// The system's full registry plus the iperf server's report under
+/// `iperf_server.*` — one tree feeding both output modes.
+fn snapshot(sys: &McnSystem, srv: &std::sync::Arc<parking_lot::Mutex<IperfReport>>) -> MetricsSnapshot {
+    let mut sink = MetricSink::new();
+    sys.metrics(&mut sink);
+    sink.absorb("iperf_server", &*srv.lock());
+    sink.finish()
 }

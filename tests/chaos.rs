@@ -14,10 +14,11 @@
 //!   ([`TcpError::TimedOut`] at the transport, [`MpiError::RankFailed`] at
 //!   the MPI layer) instead of a hang,
 //! * the same seed replays the same chaos: two runs produce byte-identical
-//!   counter snapshots (`chaos_smoke_snapshot` prints them as `SNAP|` lines
-//!   so CI can diff two invocations).
+//!   full-registry JSON snapshots ([`MetricsSnapshot`] over the whole
+//!   rack; `chaos_smoke_snapshot` prints them as `SNAP|`-prefixed lines so
+//!   CI can diff two invocations).
 
-use mcn::{ComponentExt, McnConfig, McnRack, McnSystem, SystemConfig};
+use mcn::{ComponentExt, McnConfig, McnRack, McnSystem, MetricsSnapshot, SystemConfig};
 use mcn_mpi::mpi::MpiRank;
 use mcn_mpi::placement::{spawn_on_mcn, MPI_BASE_PORT};
 use mcn_mpi::workloads::{RankProgram, WorkloadReport};
@@ -309,7 +310,7 @@ fn dead_rank_yields_rank_failed_not_a_hang() {
 /// The chaos mix: a 2-server rack where server 1's DIMM crashes twice at
 /// randomized (seeded) times while the switch partitions and heals, under
 /// a cross-server TCP stream plus an intra-server allreduce. Returns the
-/// counter snapshot (`SNAP|` lines).
+/// full-registry JSON snapshot (`SNAP|`-prefixed lines).
 fn chaos_mix_snapshot(seed: u64) -> String {
     let mut plan = OutagePlan::new(seed);
     plan.random_crashes(
@@ -450,60 +451,16 @@ fn chaos_mix_snapshot(seed: u64) -> String {
     snap
 }
 
-/// Every chaos-relevant counter of the rack in `SNAP|`-prefixed lines (CI
-/// greps the prefix and diffs two same-seed runs).
+/// The rack's *entire* metrics registry as `SNAP|`-prefixed JSON lines
+/// (CI greps the prefix, reassembles the JSON and diffs two same-seed
+/// runs). A registry walk replaces the old hand-picked `writeln!` block:
+/// any counter a layer registers is part of the determinism gate from the
+/// moment it exists.
 fn rack_snapshot(rack: &McnRack) -> String {
     use std::fmt::Write;
     let mut s = String::new();
-    writeln!(s, "SNAP|now={}", rack.now()).unwrap();
-    writeln!(
-        s,
-        "SNAP|rack: partitions={} partition_drops={} uplink_drops={} link_downs={} node_reboots={}",
-        rack.stats.partitions.get(),
-        rack.stats.partition_drops.get(),
-        rack.stats.uplink_drops.get(),
-        rack.stats.link_downs.get(),
-        rack.stats.node_reboots.get(),
-    )
-    .unwrap();
-    for sv in 0..rack.len() {
-        let srv = rack.server(sv);
-        let h = &srv.hdrv.stats;
-        writeln!(
-            s,
-            "SNAP|srv{sv} hdrv: tx={} rx={} port_downs={} probes={} probe_retries={} \
-             ring_resets={} mac_announces={} reinits={} reinit_failures={} stale_desc={}",
-            h.tx_frames.get(),
-            h.rx_frames.get(),
-            h.port_downs.get(),
-            h.probes_sent.get(),
-            h.probe_retries.get(),
-            h.ring_resets.get(),
-            h.mac_announces.get(),
-            h.reinits_completed.get(),
-            h.reinit_failures.get(),
-            h.stale_desc_dropped.get(),
-        )
-        .unwrap();
-        writeln!(
-            s,
-            "SNAP|srv{sv} host tcp={:?} frames_in={}",
-            srv.host.stack.tcp_totals(),
-            srv.host.stack.stats.frames_in.get(),
-        )
-        .unwrap();
-        for d in 0..srv.dimms() {
-            let dimm = srv.dimm(d);
-            writeln!(
-                s,
-                "SNAP|srv{sv} dimm{d} crashes={} reboots={} tcp={:?} frames_in={}",
-                dimm.stats.crashes.get(),
-                dimm.stats.reboots.get(),
-                dimm.node.stack.tcp_totals(),
-                dimm.node.stack.stats.frames_in.get(),
-            )
-            .unwrap();
-        }
+    for line in MetricsSnapshot::collect(rack).to_json().lines() {
+        writeln!(s, "SNAP|{line}").unwrap();
     }
     s
 }
@@ -511,7 +468,8 @@ fn rack_snapshot(rack: &McnRack) -> String {
 #[test]
 fn same_seed_chaos_runs_are_identical() {
     // One seed, one history: the randomized outage schedule, the crashes,
-    // the handshake, the retransmissions — all of it must replay exactly.
+    // the handshake, the retransmissions — all of it must replay exactly,
+    // down to a byte-identical full-registry JSON snapshot.
     let a = chaos_mix_snapshot(0xC4A05);
     let b = chaos_mix_snapshot(0xC4A05);
     assert_eq!(a, b, "same-seed chaos must produce identical snapshots");
@@ -527,13 +485,31 @@ fn different_seeds_draw_different_chaos() {
 #[test]
 fn chaos_smoke_snapshot() {
     // CI's chaos-smoke gate runs this test twice with --nocapture and
-    // diffs the SNAP| lines: any nondeterminism in the chaos machinery
-    // fails the build even if every in-process assertion still passes.
+    // diffs the SNAP| lines — the rack's whole registry in JSON, not a
+    // hand-picked subset: any nondeterminism in the chaos machinery fails
+    // the build even if every in-process assertion still passes.
     let snap = chaos_mix_snapshot(0x5EED_CAFE);
     // Leading newline: the libtest harness prints `test <name> ... ` with
     // no newline, which would glue itself to the first SNAP| line and
     // hide it from CI's `grep '^SNAP|'`.
     print!("\n{snap}");
     assert!(snap.lines().all(|l| l.starts_with("SNAP|")));
-    assert!(snap.lines().count() >= 6);
+    // The registry walk covers both servers end to end: spine paths from
+    // every layer must be present in the JSON body.
+    for path in [
+        "srv0.driver.ring_resets",
+        "srv1.dimm0.driver.crashes",
+        "srv1.host.stack.tcp.retransmits",
+        "rack.partitions",
+        "switch.forwarded",
+        "nic1.tx_frames",
+        "link0.up.sent",
+        "engine.advances",
+    ] {
+        assert!(
+            snap.contains(&format!("\"{path}\":")),
+            "registry snapshot is missing {path}"
+        );
+    }
+    assert!(snap.lines().count() >= 100, "full registry, not a subset");
 }
