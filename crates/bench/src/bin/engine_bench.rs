@@ -1,10 +1,20 @@
 //! Engine bench-smoke: drives a fig9-style iperf mix on a 4-DIMM rack
-//! (2 servers x 2 DIMMs) and reports how much polling the wakeup-index /
-//! dirty-list engine avoided versus the old scan-everything run loops.
+//! (2 servers x 2 DIMMs), first on one worker thread and then on
+//! `--threads N` (default 2) workers of the quantum-synchronized
+//! parallel engine, and reports:
+//!
+//! * how much polling the windowed scheduler avoided versus the old
+//!   scan-everything run loops (the poll ratio), and
+//! * the parallel wall-clock speedup, after asserting that the parallel
+//!   run's metrics snapshot and final clock are byte-identical to the
+//!   serial run's.
 //!
 //! Writes `BENCH_engine.json` into the working directory and exits
-//! nonzero if the poll ratio (scan-equivalent / actual) drops below 2x,
-//! so CI catches a regression to sweep-style scheduling.
+//! nonzero if the poll ratio (scan-equivalent / actual) drops below 2x
+//! or the parallel run diverges from the serial run. The speedup target
+//! (1.5x) is recorded but only warned about, because CI runners and
+//! single-core containers cannot promise idle cores; the determinism
+//! gate is the hard one.
 
 use std::time::Instant;
 
@@ -14,13 +24,16 @@ use mcn_sim::SimTime;
 
 const BYTES_PER_STREAM: u64 = 1 << 20;
 const MIN_RATIO: f64 = 2.0;
+const MIN_SPEEDUP: f64 = 1.5;
 
-fn main() {
+type Report = std::sync::Arc<parking_lot::Mutex<IperfReport>>;
+
+/// Builds the benchmark workload: 4 local iperf streams (each DIMM into
+/// its own host) plus 1 cross-server stream (server 0's DIMM 0 into
+/// server 1's host), so the ToR switch and both NICs stay on the
+/// critical path.
+fn build_workload() -> (McnRack, Report, Report) {
     let mut rack = McnRack::new(&SystemConfig::default(), 2, 2, McnConfig::level(3));
-
-    // Local streams: each DIMM pushes a stream into its own host.
-    // Cross-rack stream: DIMM 0 of server 0 also streams to server 1's
-    // host, so the ToR switch and both NICs stay on the critical path.
     let srv0 = IperfReport::shared();
     let srv1 = IperfReport::shared();
     rack.spawn_host(
@@ -51,22 +64,81 @@ fn main() {
         Box::new(IperfClient::new(remote, 5001, BYTES_PER_STREAM, IperfReport::shared())),
         2,
     );
+    (rack, srv0, srv1)
+}
 
+/// Runs the workload to completion on `threads` workers and returns the
+/// rack plus the wall-clock seconds it took.
+fn run_workload(rack: &mut McnRack, threads: usize) -> f64 {
     let wall = Instant::now();
     assert!(
-        rack.run_until_procs_done(SimTime::from_secs(10)),
+        rack.run_parallel(SimTime::from_secs(10), threads),
         "engine bench workload stalled at {}\n{}",
         rack.now(),
         rack.stall_report("engine bench stalled")
     );
-    let wall_s = wall.elapsed().as_secs_f64();
+    wall.elapsed().as_secs_f64()
+}
+
+/// The rack's full counter tree as canonical JSON — the byte-identity
+/// witness between the serial and parallel runs.
+fn rack_snapshot(rack: &McnRack) -> String {
+    let mut sink = MetricSink::new();
+    sink.absorb("rack", rack);
+    sink.finish().to_json()
+}
+
+fn main() {
+    let mut threads = 2usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--threads needs a positive integer");
+            }
+            other => panic!("unknown argument {other:?} (supported: --threads N)"),
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Serial reference run: the poll-ratio gate and the goodput figure
+    // come from here.
+    let (mut rack, srv0, srv1) = build_workload();
+    let serial_wall_s = run_workload(&mut rack, 1);
+    let serial_snap = rack_snapshot(&rack);
+    let serial_now = rack.now();
+
+    // Parallel run on a fresh, identically-built rack.
+    let (mut prack, _, _) = build_workload();
+    let parallel_wall_s = run_workload(&mut prack, threads);
+    let parallel_snap = rack_snapshot(&prack);
+
+    if prack.now() != serial_now || parallel_snap != serial_snap {
+        eprintln!(
+            "FAIL: parallel run ({threads} threads) diverged from serial \
+             (now {} vs {})",
+            prack.now(),
+            serial_now
+        );
+        for (s, p) in serial_snap.lines().zip(parallel_snap.lines()) {
+            if s != p {
+                eprintln!("  serial:   {s}\n  parallel: {p}");
+            }
+        }
+        std::process::exit(1);
+    }
+    let speedup = serial_wall_s / parallel_wall_s.max(1e-9);
 
     let sim_s = rack.now().as_secs_f64();
     let (actual, scan) = rack.poll_accounting();
     let ratio = scan as f64 / actual.max(1) as f64;
     let rk = rack.engine_stats();
     let rounds_per_advance = rk.rounds.get() as f64 / rk.advances.get().max(1) as f64;
-    let polls_per_wall_s = actual as f64 / wall_s.max(1e-9);
+    let polls_per_wall_s = actual as f64 / serial_wall_s.max(1e-9);
     let goodput_gbps = srv0.lock().meter.gbps() + srv1.lock().meter.gbps();
 
     // One registry feeds both outputs: the bench's derived headline
@@ -75,7 +147,7 @@ fn main() {
     let mut sink = MetricSink::new();
     sink.text("workload", "rack 2x2 iperf (4 local + 1 cross-server stream)");
     sink.value("sim_seconds", sim_s);
-    sink.value("wall_seconds", wall_s);
+    sink.value("wall_seconds", serial_wall_s);
     sink.value("events_per_sec", polls_per_wall_s);
     sink.value("advance_rounds_per_step", rounds_per_advance);
     sink.value("component_polls_per_sim_sec", actual as f64 / sim_s.max(1e-12));
@@ -86,11 +158,29 @@ fn main() {
     sink.value("poll_ratio", ratio);
     sink.value("min_ratio", MIN_RATIO);
     sink.value("aggregate_goodput_gbps", goodput_gbps);
+    sink.counter("parallel_threads", threads as u64);
+    sink.counter("host_cores", cores as u64);
+    sink.value("parallel_wall_seconds", parallel_wall_s);
+    sink.value("parallel_speedup", speedup);
+    sink.value("min_speedup", MIN_SPEEDUP);
     sink.absorb("rack", &rack);
     let snap = sink.finish();
     std::fs::write("BENCH_engine.json", snap.to_json()).expect("write BENCH_engine.json");
     for (path, value) in snap.iter().filter(|(p, _)| !p.starts_with("rack.")) {
         println!("{path} = {value}");
+    }
+
+    println!("OK: {threads}-thread run byte-identical to serial ({} metrics)", {
+        serial_snap.lines().count()
+    });
+    if speedup < MIN_SPEEDUP {
+        eprintln!(
+            "WARN: speedup {speedup:.2}x < {MIN_SPEEDUP}x on {cores} available \
+             core(s) — expected on shared or single-core hosts; the recorded \
+             number is the measured one"
+        );
+    } else {
+        println!("OK: {threads}-thread speedup {speedup:.2}x on {cores} cores");
     }
 
     if ratio < MIN_RATIO {

@@ -6,16 +6,25 @@
 //! DDR4-3200). NICs use hardware checksum offload (standard for 10GbE
 //! adapters), so the stack charges no software checksum time; wire
 //! integrity is the Ethernet FCS, checked by the receiving MAC.
+//!
+//! Like [`crate::McnRack`], the cluster runs on the quantum-synchronized
+//! scheduler in [`mcn_sim::shard`]: each node block (node + NIC + links)
+//! is one shard, the switch routes at barriers, and
+//! [`run_parallel`](EthernetCluster::run_parallel) with any thread count
+//! reproduces the single-threaded results byte for byte.
 
 use std::net::Ipv4Addr;
 
 use mcn_net::link::{Link, Switch};
 use mcn_net::tcp::TcpConfig;
-use mcn_net::{MacAddr, NetConfig};
+use mcn_net::{EthernetFrame, MacAddr, NetConfig};
 use mcn_node::nic::{Nic, NicConfig, NicEvent, NIC_WAITER};
 use mcn_node::{CostModel, Node, ProcId, Process};
 use mcn_sim::metrics::{Instrumented, MetricSink};
-use mcn_sim::{Activity, Component, Engine, EngineStats, SimTime, StallReport, Wakeup};
+use mcn_sim::{
+    Activity, Component, EngineStats, Fabric, Outbox, ParallelEngine, Quantum, RunGoal, RunReport,
+    Shard, SimTime, StallReport, Wakeup,
+};
 
 use crate::config::SystemConfig;
 
@@ -28,21 +37,172 @@ pub struct ClusterNode {
     pub nic: Nic,
 }
 
+/// The cluster issues no control commands; its shards only exchange
+/// frames.
+#[derive(Debug)]
+enum NoCmd {}
+
+/// One shard of the cluster: a node, its NIC, and its up/down links.
+#[derive(Debug)]
+struct NodeBlock {
+    cn: ClusterNode,
+    up: Link,
+    down: Link,
+    /// Block-local clock: the last event time processed.
+    clock: SimTime,
+    /// Event-loop accounting for this block.
+    stats: EngineStats,
+}
+
+impl NodeBlock {
+    /// One round of progress at time `t`: memory completions, the NIC
+    /// pipeline, the uplink into the switch (emissions go to `outbox`),
+    /// the downlink, stack timers/processes, and outbound frames.
+    fn advance_block(&mut self, t: SimTime, outbox: &mut Outbox<EthernetFrame>) -> bool {
+        let mut changed = false;
+        // Memory completions → NIC DMA bookkeeping.
+        let foreign = self.cn.node.advance_mem(t);
+        for (waiter, job) in foreign {
+            debug_assert_eq!(waiter, NIC_WAITER);
+            self.cn
+                .nic
+                .on_job_done(job, t, &mut self.cn.node.cpus, &self.cn.node.cost, false);
+            changed = true;
+        }
+        // NIC pipeline events.
+        for ev in self.cn.nic.advance(t, &mut self.cn.node.mem) {
+            changed = true;
+            match ev {
+                NicEvent::TxWire(frame) => self.up.send(frame, t),
+                NicEvent::RxDeliver(frame) => {
+                    self.cn.node.stack.on_frame(0, frame, t);
+                    self.cn.node.drain_stack_events();
+                }
+            }
+        }
+        // Frames reaching the switch leave the shard; the coordinator
+        // routes them at the next barrier.
+        for frame in self.up.poll(t) {
+            changed = true;
+            outbox.emit(t, frame);
+        }
+        // Frames arriving from the switch.
+        for frame in self.down.poll(t) {
+            changed = true;
+            self.cn.nic.wire_rx(frame, t, &mut self.cn.node.mem);
+        }
+        // Stack timers, processes, outbound frames.
+        self.cn.node.service_stack(t);
+        if self.cn.node.run_procs(t) {
+            changed = true;
+        }
+        while let Some(frame) = self.cn.node.stack.poll_output(0) {
+            // TX protocol processing (checksum offloaded), then the
+            // driver handoff.
+            let proto = mcn_node::nic::tx_protocol_cost(&self.cn.node.cost, &frame, false);
+            let core = self.cn.node.cpus.least_loaded();
+            let (_, end) = self.cn.node.cpus.run_on(core, t, proto);
+            self.cn
+                .nic
+                .xmit(frame, end, core, &mut self.cn.node.cpus, &self.cn.node.cost);
+            changed = true;
+        }
+        changed
+    }
+}
+
+impl Shard for NodeBlock {
+    type Frame = EthernetFrame;
+    type Cmd = NoCmd;
+
+    fn next_event(&mut self) -> Option<SimTime> {
+        [
+            self.cn.node.next_wakeup(),
+            self.cn.nic.next_wakeup(),
+            self.up.next_wakeup(),
+            self.down.next_wakeup(),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+        .map(|t| t.max(self.clock))
+    }
+
+    fn apply(&mut self, _at: SimTime, cmd: NoCmd) {
+        match cmd {}
+    }
+
+    fn deliver(&mut self, at: SimTime, frame: EthernetFrame) {
+        self.down.send(frame, at);
+    }
+
+    fn run_window(&mut self, end: SimTime, outbox: &mut Outbox<EthernetFrame>) -> u64 {
+        let mut steps = 0;
+        while let Some(t) = Shard::next_event(self) {
+            if t > end {
+                break;
+            }
+            self.clock = t;
+            steps += 1;
+            self.stats.advances.inc();
+            let mut iters = 0u32;
+            loop {
+                self.stats.component_polls.inc();
+                if !self.advance_block(t, outbox) {
+                    break;
+                }
+                self.stats.rounds.inc();
+                iters += 1;
+                if iters >= 100_000 {
+                    panic!("node block did not converge at {t}");
+                }
+            }
+        }
+        steps
+    }
+
+    fn procs_done(&self) -> bool {
+        self.cn.node.runner.all_done()
+    }
+}
+
+/// The coordinator-side boundary for the cluster: just the switch.
+struct ClusterFabric<'a> {
+    switch: &'a mut Switch,
+}
+
+impl Fabric<NodeBlock> for ClusterFabric<'_> {
+    fn next_control(&mut self) -> Option<SimTime> {
+        None
+    }
+
+    fn pop_controls(&mut self, _now: SimTime, _out: &mut Vec<(usize, SimTime, NoCmd)>) {}
+
+    fn route(
+        &mut self,
+        from: usize,
+        at: SimTime,
+        frame: EthernetFrame,
+        out: &mut Vec<(usize, SimTime, EthernetFrame)>,
+    ) {
+        let fwd_at = at + self.switch.forward_latency;
+        for p in self.switch.route(&frame, from) {
+            out.push((p, fwd_at, frame.clone()));
+        }
+    }
+}
+
 /// The 10GbE scale-out cluster; drive like [`crate::McnSystem`].
 ///
-/// Engine component `i` is the whole per-node block: the node, its NIC,
-/// and its up/down links (their combined earliest deadline is one
-/// wakeup-index entry).
+/// Shard `i` of the windowed scheduler is the whole per-node block: the
+/// node, its NIC, and its up/down links.
 #[derive(Debug)]
 pub struct EthernetCluster {
     now: SimTime,
-    nodes: Vec<ClusterNode>,
+    blocks: Vec<NodeBlock>,
     switch: Switch,
-    /// Per-node uplink (node → switch).
-    up: Vec<Link>,
-    /// Per-node downlink (switch → node).
-    down: Vec<Link>,
-    engine: Engine,
+    /// The quantum-synchronized scheduler (serial = 1 thread).
+    sched: ParallelEngine,
 }
 
 impl EthernetCluster {
@@ -96,28 +256,35 @@ impl EthernetCluster {
             }
         }
         let mk_link = || Link::new(sys.eth_bytes_per_sec, sys.eth_latency);
+        let switch = Switch::new(n.max(1));
+        let quantum = Quantum::from_path(switch.forward_latency, sys.eth_latency);
         EthernetCluster {
             now: SimTime::ZERO,
-            switch: Switch::new(n.max(1)),
-            up: (0..n).map(|_| mk_link()).collect(),
-            down: (0..n).map(|_| mk_link()).collect(),
-            engine: Engine::new(n),
-            nodes,
+            switch,
+            blocks: nodes
+                .into_iter()
+                .map(|cn| NodeBlock {
+                    cn,
+                    up: mk_link(),
+                    down: mk_link(),
+                    clock: SimTime::ZERO,
+                    stats: EngineStats::default(),
+                })
+                .collect(),
+            sched: ParallelEngine::new(quantum),
         }
     }
 
     /// Enables frame loss/corruption on node `i`'s uplink (failure
     /// injection for TCP-recovery tests).
     pub fn impair_uplink(&mut self, i: usize, drop: f64, corrupt: f64, seed: u64) {
-        let old = std::mem::replace(&mut self.up[i], Link::ten_gbe());
-        let _ = old;
-        self.up[i] = Link::new(1.25e9, SimTime::from_us(1)).with_impairments(drop, corrupt, seed);
-        self.engine.mark_stale(i);
+        self.blocks[i].up =
+            Link::new(1.25e9, SimTime::from_us(1)).with_impairments(drop, corrupt, seed);
     }
 
     /// The uplink (node `i` → switch), e.g. to read impairment counters.
     pub fn uplink(&self, i: usize) -> &Link {
-        &self.up[i]
+        &self.blocks[i].up
     }
 
     /// IP of node `i` (`10.0.0.(i+1)`).
@@ -127,29 +294,34 @@ impl EthernetCluster {
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.blocks.len()
     }
 
     /// True for an empty cluster.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.blocks.is_empty()
     }
 
     /// Access node `i`.
     pub fn node(&self, i: usize) -> &ClusterNode {
-        &self.nodes[i]
+        &self.blocks[i].cn
     }
 
-    /// Mutable access to node `i`. Marks the node block's cached wakeup
-    /// stale: callers may inject work the engine cannot observe.
+    /// Mutable access to node `i` (e.g. to bind sockets or spawn work;
+    /// the scheduler re-queries every block's deadline each window).
     pub fn node_mut(&mut self, i: usize) -> &mut ClusterNode {
-        self.engine.mark_stale(i);
-        &mut self.nodes[i]
+        &mut self.blocks[i].cn
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The synchronization quantum the scheduler derived from the
+    /// switch + downlink latency.
+    pub fn quantum(&self) -> Quantum {
+        self.sched.quantum()
     }
 
     /// Spawns a process on a core of node `i`.
@@ -159,36 +331,16 @@ impl EthernetCluster {
 
     /// All processes on all nodes finished?
     pub fn all_procs_done(&self) -> bool {
-        self.nodes.iter().all(|n| n.node.runner.all_done())
+        self.blocks.iter().all(|b| b.cn.node.runner.all_done())
     }
 
-    /// The combined wakeup of node block `i`: the node itself, its NIC
-    /// pipeline, and frames in flight on its links.
-    fn wakeup_of(&mut self, i: usize) -> Option<SimTime> {
-        [
-            self.nodes[i].node.next_wakeup(),
-            self.nodes[i].nic.next_wakeup(),
-            self.up[i].next_wakeup(),
-            self.down[i].next_wakeup(),
-        ]
-        .into_iter()
-        .flatten()
-        .min()
-    }
-
-    /// Re-queries stale node blocks' deadlines.
-    fn refresh_wakeups(&mut self) {
-        for i in self.engine.drain_stale() {
-            let w = self.wakeup_of(i);
-            self.engine.set_wakeup(i, w);
-        }
-    }
-
-    /// Earliest pending activity — one heap peek over the per-node
-    /// wakeup index.
+    /// Earliest pending activity across the node blocks.
     pub fn next_event(&mut self) -> Option<SimTime> {
-        self.refresh_wakeups();
-        self.engine.earliest().map(|x| x.max(self.now))
+        self.blocks
+            .iter_mut()
+            .filter_map(Shard::next_event)
+            .min()
+            .map(|x| x.max(self.now))
     }
 
     /// A structured snapshot of the cluster for stall debugging: each
@@ -196,122 +348,56 @@ impl EthernetCluster {
     pub fn stall_report(&self, title: &str) -> StallReport {
         let mut r =
             StallReport::new(format!("{title} (cluster of {} @ {})", self.len(), self.now));
-        for (i, cn) in self.nodes.iter().enumerate() {
-            for line in cn.node.runner.stalled_procs() {
+        for (i, b) in self.blocks.iter().enumerate() {
+            for line in b.cn.node.runner.stalled_procs() {
                 r.line(&format!("node{i} procs"), line);
             }
-            for line in cn.node.stack.socket_states() {
+            for line in b.cn.node.stack.socket_states() {
                 r.line(&format!("node{i} sockets"), line);
             }
             r.line(
                 "wire",
                 format!(
                     "node{i}: nic_next={:?} up_next={:?} down_next={:?}",
-                    cn.nic.next_event(),
-                    self.up[i].next_arrival(),
-                    self.down[i].next_arrival()
+                    b.cn.nic.next_event(),
+                    b.up.next_arrival(),
+                    b.down.next_arrival()
                 ),
             );
         }
         r
     }
 
-    /// Processes everything due at `t`, polling only dirty node blocks.
-    pub fn advance(&mut self, t: SimTime) -> Activity {
-        assert!(t >= self.now, "time must not go backwards");
-        self.now = t;
-        self.refresh_wakeups();
-        self.engine.begin(t);
-        let mut any = false;
-        for round in 0.. {
-            if round >= 100_000 {
-                panic!("{}", self.stall_report("cluster advance did not converge"));
-            }
-            let mut changed = false;
-            if self.engine.start_round() {
-                while let Some(i) = self.engine.pop_dirty() {
-                    if self.advance_node_block(i, t) {
-                        self.engine.mark_dirty(i);
-                        changed = true;
-                    }
-                }
-            }
-            if !changed {
-                break;
-            }
-            any = true;
-            self.engine.note_round();
-        }
-        for i in self.engine.drain_touched() {
-            let w = self.wakeup_of(i);
-            self.engine.set_wakeup(i, w);
-        }
-        Activity::from_flag(any)
+    /// Drives the cluster with the windowed scheduler on `threads`
+    /// workers.
+    fn drive(&mut self, target: SimTime, goal: RunGoal, threads: usize) -> RunReport {
+        let EthernetCluster { blocks, switch, now, sched } = self;
+        let mut fabric = ClusterFabric { switch };
+        sched.run(blocks, &mut fabric, now, target, goal, threads)
     }
 
-    /// One round of progress for node block `i`: memory completions, the
-    /// NIC pipeline, its uplink into the switch, its downlink, stack
-    /// timers/processes, and outbound frames. Cross-node frames mark the
-    /// destination block dirty.
-    fn advance_node_block(&mut self, i: usize, t: SimTime) -> bool {
-        let mut changed = false;
-        // Memory completions → NIC DMA bookkeeping.
-        let foreign = self.nodes[i].node.advance_mem(t);
-        for (waiter, job) in foreign {
-            debug_assert_eq!(waiter, NIC_WAITER);
-            let cn = &mut self.nodes[i];
-            cn.nic
-                .on_job_done(job, t, &mut cn.node.cpus, &cn.node.cost, false);
-            changed = true;
+    /// Runs until every process on every node finishes, or `deadline`
+    /// passes (returns false). Results are byte-identical for any
+    /// `threads` value.
+    pub fn run_parallel(&mut self, deadline: SimTime, threads: usize) -> bool {
+        self.drive(deadline, RunGoal::ProcsDone, threads).completed
+    }
+
+    /// Runs every event up to `deadline` on `threads` workers, then sets
+    /// the clock to it.
+    pub fn run_parallel_until(&mut self, deadline: SimTime, threads: usize) {
+        self.drive(deadline, RunGoal::Deadline, threads);
+    }
+
+    /// Event-loop accounting summed over the node blocks.
+    fn summed_stats(&self) -> EngineStats {
+        let mut s = EngineStats::default();
+        for b in &self.blocks {
+            s.component_polls.add(b.stats.component_polls.get());
+            s.rounds.add(b.stats.rounds.get());
+            s.advances.add(b.stats.advances.get());
         }
-        // NIC pipeline events.
-        let cn = &mut self.nodes[i];
-        for ev in cn.nic.advance(t, &mut cn.node.mem) {
-            changed = true;
-            match ev {
-                NicEvent::TxWire(frame) => self.up[i].send(frame, t),
-                NicEvent::RxDeliver(frame) => {
-                    self.nodes[i].node.stack.on_frame(0, frame, t);
-                    self.nodes[i].node.drain_stack_events();
-                }
-            }
-        }
-        // Frames arriving at the switch from node i.
-        for frame in self.up[i].poll(t) {
-            changed = true;
-            let fwd_at = t + self.switch.forward_latency;
-            for p in self.switch.route(&frame, i) {
-                self.down[p].send(frame.clone(), fwd_at);
-                // The arrival belongs to block `p`; wake it (now for the
-                // poll below, or later via its refreshed wakeup entry).
-                self.engine.mark_dirty(p);
-            }
-        }
-        // Frames arriving at node i from the switch.
-        for frame in self.down[i].poll(t) {
-            changed = true;
-            let cn = &mut self.nodes[i];
-            cn.nic.wire_rx(frame, t, &mut cn.node.mem);
-        }
-        // Stack timers, processes, outbound frames.
-        self.nodes[i].node.service_stack(t);
-        if self.nodes[i].node.run_procs(t) {
-            changed = true;
-        }
-        loop {
-            let cn = &mut self.nodes[i];
-            let Some(frame) = cn.node.stack.poll_output(0) else {
-                break;
-            };
-            // TX protocol processing (checksum offloaded), then the
-            // driver handoff.
-            let proto = mcn_node::nic::tx_protocol_cost(&cn.node.cost, &frame, false);
-            let core = cn.node.cpus.least_loaded();
-            let (_, end) = cn.node.cpus.run_on(core, t, proto);
-            cn.nic.xmit(frame, end, core, &mut cn.node.cpus, &cn.node.cost);
-            changed = true;
-        }
-        changed
+        s
     }
 }
 
@@ -323,35 +409,39 @@ impl Component for EthernetCluster {
         EthernetCluster::next_event(self)
     }
     fn advance(&mut self, t: SimTime) -> Activity {
-        EthernetCluster::advance(self, t)
+        assert!(t >= self.now, "time must not go backwards");
+        let rep = self.drive(t, RunGoal::Deadline, 1);
+        Activity::from_flag(rep.events > 0)
     }
     fn procs_done(&self) -> bool {
         self.all_procs_done()
     }
     fn engine_accounting(&self, out: &mut Vec<(EngineStats, usize)>) {
-        out.push((self.engine.stats, self.nodes.len()));
+        out.push((self.summed_stats(), self.blocks.len()));
     }
 }
 
 impl Instrumented for EthernetCluster {
     /// The baseline cluster tree: per node `node{N}.*` (the node's
     /// cpu/mem/stack plus its NIC under `node{N}.nic.*`), per-node
-    /// uplink/downlink under `link{N}.up/.down`, the switch, the engine
+    /// uplink/downlink under `link{N}.up/.down`, the switch, the summed
+    /// block accounting (`engine.*`), the windowed scheduler (`sched.*`)
     /// and the clock.
     fn metrics(&self, out: &mut MetricSink) {
         out.counter("now_ps", self.now.as_ps());
         out.absorb("switch", &self.switch);
-        for (i, cn) in self.nodes.iter().enumerate() {
+        for (i, b) in self.blocks.iter().enumerate() {
             out.scoped(&format!("node{i}"), |out| {
-                cn.node.metrics(out);
-                out.absorb("nic", &cn.nic);
+                b.cn.node.metrics(out);
+                out.absorb("nic", &b.cn.nic);
             });
             out.scoped(&format!("link{i}"), |out| {
-                out.absorb("up", &self.up[i]);
-                out.absorb("down", &self.down[i]);
+                out.absorb("up", &b.up);
+                out.absorb("down", &b.down);
             });
         }
-        out.absorb("engine", &self.engine.stats);
+        out.absorb("engine", &self.summed_stats());
+        out.absorb("sched", &self.sched);
     }
 }
 

@@ -10,16 +10,29 @@
 //! matches no local interface emits a frame with the "external" MAC; the
 //! host forwarding engine classifies it F4 and hands it to the NIC; the
 //! destination host receives it and injects it into its own MCN fabric.
+//!
+//! # Execution model
+//!
+//! Each server block (the [`McnSystem`], its NIC, and its up/down links)
+//! is one [`Shard`] of the quantum-synchronized scheduler in
+//! [`mcn_sim::shard`]: the ToR switch is the only cross-shard boundary,
+//! and any frame leaving a server pays the switch forwarding latency
+//! plus the downlink propagation latency before it can touch another
+//! server — that path is the synchronization [`Quantum`]. The same
+//! windowed algorithm drives the rack whether
+//! [`run_parallel`](McnRack::run_parallel) is given one thread or many,
+//! so serial and parallel runs produce byte-identical metric snapshots.
 
 use mcn_net::link::{Link, Switch};
+use mcn_net::EthernetFrame;
 use mcn_node::nic::{Nic, NicConfig, NicEvent, NIC_WAITER};
 use mcn_node::ProcId;
 use mcn_node::Process;
-use mcn_sim::stats::Counter;
 use mcn_sim::metrics::{Instrumented, MetricSink};
+use mcn_sim::stats::Counter;
 use mcn_sim::{
-    Activity, Component, Engine, EngineStats, EventQueue, OutageKind, OutagePlan, SimTime,
-    StallReport, Wakeup,
+    Activity, Component, EngineStats, EventQueue, Fabric, FaultPlan, OutageKind, OutagePlan, Outbox,
+    ParallelEngine, Quantum, RunGoal, RunReport, Shard, SimTime, StallReport, Wakeup,
 };
 
 use crate::config::{McnConfig, SystemConfig};
@@ -48,12 +61,31 @@ enum RackOutage {
     NodeUp { server: usize },
 }
 
+/// A control command the coordinator hands to one server block at a
+/// window boundary (the shard-side half of a [`RackOutage`]).
+#[derive(Debug)]
+enum BlockCmd {
+    /// Crash DIMM `d`.
+    DimmCrash(usize),
+    /// Power DIMM `d` back on.
+    DimmPowerOn(usize),
+    /// Uplink carrier lost.
+    LinkDown,
+    /// Uplink carrier restored.
+    LinkUp,
+    /// Uplink down + every DIMM crashes.
+    NodeDown,
+    /// Uplink up + every DIMM powers on.
+    NodeUp,
+}
+
 /// Rack-layer outage statistics.
 #[derive(Debug, Default)]
 pub struct RackStats {
     /// Frames the partitioned switch refused to forward.
     pub partition_drops: Counter,
-    /// Frames lost on a severed server uplink (either direction).
+    /// Frames lost on a severed server uplink (routed towards it while
+    /// down; each block also counts its own local drops).
     pub uplink_drops: Counter,
     /// Uplink outages applied.
     pub link_downs: Counter,
@@ -63,25 +95,296 @@ pub struct RackStats {
     pub node_reboots: Counter,
 }
 
+/// One shard of the rack: a server, its NIC, and its up/down links.
+/// Everything inside interacts at memory-channel/PCIe latency; the only
+/// way out is the uplink into the ToR switch.
+#[derive(Debug)]
+struct ServerBlock {
+    /// This block's server index (for F4 source addressing).
+    id: usize,
+    /// Rack size (for the F4 owner lookup).
+    n_servers: usize,
+    sys: McnSystem,
+    nic: Nic,
+    up: Link,
+    down: Link,
+    /// Shard-local mirror of the uplink carrier (the coordinator holds
+    /// the authoritative copy for route-time checks).
+    link_up: bool,
+    /// Block-local clock: the last event time processed.
+    clock: SimTime,
+    /// Event-loop accounting (advances = event times, rounds =
+    /// convergence iterations with work, polls = block polls).
+    stats: EngineStats,
+    /// Frames this block dropped on its own severed uplink.
+    uplink_drops: Counter,
+}
+
+/// Who owns `ip` under the rack address plan?
+fn owner_of(ip: std::net::Ipv4Addr, n_servers: usize) -> Option<usize> {
+    let o = ip.octets();
+    if o == [192, 168, 0, 0] {
+        return None;
+    }
+    if o[0] == 192 && o[1] == 168 && o[2] == 0 {
+        let s = (o[3] as usize).checked_sub(1)?;
+        return (s < n_servers).then_some(s);
+    }
+    if o[0] == 10 && o[1] >= 1 {
+        let s = (o[1] as usize - 1) / 24;
+        return (s < n_servers).then_some(s);
+    }
+    None
+}
+
+impl ServerBlock {
+    /// One round of progress at time `t`: the server itself, its NIC
+    /// pipeline, its uplink into the switch (emissions go to `outbox`),
+    /// and its downlink into the NIC.
+    fn advance_block(&mut self, t: SimTime, outbox: &mut Outbox<EthernetFrame>) -> bool {
+        let mut changed = false;
+        self.sys.advance(t);
+        // NIC DMA completions the server collected for us.
+        for (waiter, job) in std::mem::take(&mut self.sys.foreign_jobs) {
+            debug_assert_eq!(waiter, NIC_WAITER);
+            self.nic
+                .on_job_done(job, t, &mut self.sys.host.cpus, &self.sys.host.cost, false);
+            changed = true;
+        }
+        // F4 frames → NIC transmit, addressed to the owning server.
+        for mut frame in self.sys.take_external() {
+            changed = true;
+            let Some(dst_ip) = mcn_net::Ipv4Packet::decode(&frame.payload)
+                .ok()
+                .map(|p| p.dst)
+            else {
+                continue;
+            };
+            let Some(owner) = owner_of(dst_ip, self.n_servers) else {
+                continue; // truly external: leaves the rack (dropped)
+            };
+            frame.dst = McnSystem::nic_mac(owner);
+            frame.src = McnSystem::nic_mac(self.id);
+            let core = self.sys.host.cpus.least_loaded();
+            self.nic
+                .xmit(frame, t, core, &mut self.sys.host.cpus, &self.sys.host.cost);
+        }
+        // NIC pipeline.
+        for ev in self.nic.advance(t, &mut self.sys.host.mem) {
+            changed = true;
+            match ev {
+                NicEvent::TxWire(frame) => {
+                    if self.link_up {
+                        self.up.send(frame, t);
+                    } else {
+                        // Severed uplink: the frame leaves the NIC and dies
+                        // on the wire. Transport retransmits after the heal.
+                        self.uplink_drops.inc();
+                    }
+                }
+                NicEvent::RxDeliver(frame) => {
+                    self.sys.ingress_external(frame, t);
+                }
+            }
+        }
+        // Frames reaching the switch leave the shard; the coordinator
+        // routes them at the next barrier.
+        for frame in self.up.poll(t) {
+            changed = true;
+            if !self.link_up {
+                // In flight when the link was cut: lost.
+                self.uplink_drops.inc();
+                continue;
+            }
+            outbox.emit(t, frame);
+        }
+        for frame in self.down.poll(t) {
+            changed = true;
+            if !self.link_up {
+                self.uplink_drops.inc();
+                continue;
+            }
+            self.nic.wire_rx(frame, t, &mut self.sys.host.mem);
+        }
+        changed
+    }
+}
+
+impl Shard for ServerBlock {
+    type Frame = EthernetFrame;
+    type Cmd = BlockCmd;
+
+    fn next_event(&mut self) -> Option<SimTime> {
+        [
+            self.sys.next_event(),
+            self.nic.next_wakeup(),
+            self.up.next_wakeup(),
+            self.down.next_wakeup(),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+        .map(|t| t.max(self.clock))
+    }
+
+    fn apply(&mut self, at: SimTime, cmd: BlockCmd) {
+        match cmd {
+            BlockCmd::DimmCrash(d) => self.sys.crash_dimm(d, at),
+            BlockCmd::DimmPowerOn(d) => self.sys.power_on_dimm(d, at),
+            BlockCmd::LinkDown => self.link_up = false,
+            BlockCmd::LinkUp => self.link_up = true,
+            BlockCmd::NodeDown => {
+                self.link_up = false;
+                for d in 0..self.sys.dimms() {
+                    self.sys.crash_dimm(d, at);
+                }
+            }
+            BlockCmd::NodeUp => {
+                self.link_up = true;
+                for d in 0..self.sys.dimms() {
+                    self.sys.power_on_dimm(d, at);
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, at: SimTime, frame: EthernetFrame) {
+        // `at` is the time the frame left the switch towards us; the
+        // downlink adds serialization + propagation on its own clock, so
+        // a barrier-late hand-off still yields the exact arrival time.
+        self.down.send(frame, at);
+    }
+
+    fn run_window(&mut self, end: SimTime, outbox: &mut Outbox<EthernetFrame>) -> u64 {
+        let mut steps = 0;
+        while let Some(t) = Shard::next_event(self) {
+            if t > end {
+                break;
+            }
+            self.clock = t;
+            steps += 1;
+            self.stats.advances.inc();
+            let mut iters = 0u32;
+            loop {
+                self.stats.component_polls.inc();
+                if !self.advance_block(t, outbox) {
+                    break;
+                }
+                self.stats.rounds.inc();
+                iters += 1;
+                if iters >= 100_000 {
+                    panic!("{}", self.sys.stall_report("server block did not converge"));
+                }
+            }
+        }
+        steps
+    }
+
+    fn procs_done(&self) -> bool {
+        self.sys.all_procs_done()
+    }
+}
+
+/// The coordinator-side boundary: the ToR switch, the outage schedule,
+/// and the partition / carrier state that routing consults.
+struct RackFabric<'a> {
+    switch: &'a mut Switch,
+    outages: &'a mut EventQueue<RackOutage>,
+    partition: &'a mut Option<Vec<usize>>,
+    link_up: &'a mut [bool],
+    stats: &'a mut RackStats,
+}
+
+impl Fabric<ServerBlock> for RackFabric<'_> {
+    fn next_control(&mut self) -> Option<SimTime> {
+        self.outages.peek_time()
+    }
+
+    fn pop_controls(&mut self, now: SimTime, out: &mut Vec<(usize, SimTime, BlockCmd)>) {
+        while self.outages.peek_time().is_some_and(|pt| pt <= now) {
+            let (at, o) = self.outages.pop().expect("peeked");
+            let at = at.max(now);
+            match o {
+                RackOutage::DimmCrash { server, dimm } => {
+                    out.push((server, at, BlockCmd::DimmCrash(dimm)));
+                }
+                RackOutage::DimmPowerOn { server, dimm } => {
+                    out.push((server, at, BlockCmd::DimmPowerOn(dimm)));
+                }
+                RackOutage::LinkDown { server } => {
+                    self.stats.link_downs.inc();
+                    self.link_up[server] = false;
+                    out.push((server, at, BlockCmd::LinkDown));
+                }
+                RackOutage::LinkUp { server } => {
+                    self.link_up[server] = true;
+                    out.push((server, at, BlockCmd::LinkUp));
+                }
+                RackOutage::Partition { group_of } => {
+                    self.stats.partitions.inc();
+                    *self.partition = Some(group_of);
+                }
+                RackOutage::Heal => {
+                    *self.partition = None;
+                }
+                RackOutage::NodeDown { server } => {
+                    self.stats.node_reboots.inc();
+                    self.stats.link_downs.inc();
+                    self.link_up[server] = false;
+                    out.push((server, at, BlockCmd::NodeDown));
+                }
+                RackOutage::NodeUp { server } => {
+                    self.link_up[server] = true;
+                    out.push((server, at, BlockCmd::NodeUp));
+                }
+            }
+        }
+    }
+
+    fn route(
+        &mut self,
+        from: usize,
+        at: SimTime,
+        frame: EthernetFrame,
+        out: &mut Vec<(usize, SimTime, EthernetFrame)>,
+    ) {
+        let fwd_at = at + self.switch.forward_latency;
+        for p in self.switch.route(&frame, from) {
+            if let Some(groups) = &*self.partition {
+                if groups[p] != groups[from] {
+                    // Partitioned: the switch has no path between the
+                    // groups. Silent loss, exactly like a real fabric.
+                    self.stats.partition_drops.inc();
+                    continue;
+                }
+            }
+            if !self.link_up[p] {
+                self.stats.uplink_drops.inc();
+                continue;
+            }
+            out.push((p, fwd_at, frame.clone()));
+        }
+    }
+}
+
 /// A rack: N MCN servers, one ToR switch.
 ///
-/// Engine component `s` is the whole per-server block: the server, its
-/// NIC, and its up/down links (their combined earliest deadline is one
-/// wakeup-index entry).
+/// Shard `s` of the windowed scheduler is the whole per-server block:
+/// the server, its NIC, and its up/down links. The switch and the
+/// outage schedule live on the coordinator and run only at barriers.
 #[derive(Debug)]
 pub struct McnRack {
-    servers: Vec<McnSystem>,
-    nics: Vec<Nic>,
-    up: Vec<Link>,
-    down: Vec<Link>,
+    blocks: Vec<ServerBlock>,
     switch: Switch,
     now: SimTime,
-    engine: Engine,
+    /// The quantum-synchronized scheduler (serial = 1 thread).
+    sched: ParallelEngine,
     /// Scheduled hard events (crashes, partitions, reboots).
     outages: EventQueue<RackOutage>,
     /// Per-server switch group while partitioned; `None` = fully connected.
     partition: Option<Vec<usize>>,
-    /// Per-server uplink carrier (false = severed).
+    /// Per-server uplink carrier (false = severed); authoritative copy
+    /// for route-time checks, mirrored into the blocks for poll-time.
     link_up: Vec<bool>,
     /// Outage statistics.
     pub stats: RackStats,
@@ -96,10 +399,25 @@ impl McnRack {
         dimms_per_server: usize,
         cfg: McnConfig,
     ) -> Self {
+        Self::with_faults(sys, n_servers, dimms_per_server, cfg, &FaultPlan::default())
+    }
+
+    /// Like [`new`](Self::new), but every server shares the same
+    /// deterministic [`FaultPlan`] (component names are already
+    /// per-server — `srv{s}.alert`, `srv{s}.dma`, `srv{s}.sram.*` — so
+    /// one plan can target any server in the rack).
+    pub fn with_faults(
+        sys: &SystemConfig,
+        n_servers: usize,
+        dimms_per_server: usize,
+        cfg: McnConfig,
+        plan: &FaultPlan,
+    ) -> Self {
         assert!((1..=10).contains(&n_servers), "address plan supports 1-10 servers");
         let mut servers: Vec<McnSystem> = (0..n_servers)
             .map(|s| {
-                let mut m = McnSystem::new_in_rack(sys, dimms_per_server, cfg, s);
+                let mut m =
+                    McnSystem::with_faults_in_rack(sys, dimms_per_server, cfg, s, plan);
                 m.attach_nic_iface();
                 m
             })
@@ -123,14 +441,30 @@ impl McnRack {
             }
         }
         let mk_link = || Link::new(sys.eth_bytes_per_sec, sys.eth_latency);
+        let switch = Switch::new(n_servers);
+        // The dist-gem5 quantum: the fastest cross-shard path is switch
+        // store-and-forward plus one downlink propagation delay.
+        let quantum = Quantum::from_path(switch.forward_latency, sys.eth_latency);
         McnRack {
-            nics: (0..n_servers).map(|_| Nic::new(NicConfig::default())).collect(),
-            up: (0..n_servers).map(|_| mk_link()).collect(),
-            down: (0..n_servers).map(|_| mk_link()).collect(),
-            switch: Switch::new(n_servers),
+            blocks: servers
+                .into_iter()
+                .enumerate()
+                .map(|(id, srv)| ServerBlock {
+                    id,
+                    n_servers,
+                    sys: srv,
+                    nic: Nic::new(NicConfig::default()),
+                    up: mk_link(),
+                    down: mk_link(),
+                    link_up: true,
+                    clock: SimTime::ZERO,
+                    stats: EngineStats::default(),
+                    uplink_drops: Counter::default(),
+                })
+                .collect(),
+            switch,
             now: SimTime::ZERO,
-            servers,
-            engine: Engine::new(n_servers),
+            sched: ParallelEngine::new(quantum),
             outages: EventQueue::new(),
             partition: None,
             link_up: vec![true; n_servers],
@@ -167,8 +501,8 @@ impl McnRack {
     /// * `switch` + [`OutageKind::SwitchPartition`] — servers may only
     ///   reach their own group until `heal_at`.
     pub fn set_outage_plan(&mut self, plan: &OutagePlan) {
-        for s in 0..self.servers.len() {
-            for d in 0..self.servers[s].dimms() {
+        for s in 0..self.blocks.len() {
+            for d in 0..self.blocks[s].sys.dimms() {
                 let mut sched = plan.schedule(&Self::dimm_outage_component(s, d));
                 for (t, kind) in sched.pop_due(SimTime::MAX) {
                     let OutageKind::DimmCrash { down_for } = kind else {
@@ -201,7 +535,7 @@ impl McnRack {
             let OutageKind::SwitchPartition { groups, heal_at } = kind else {
                 continue;
             };
-            let mut group_of = vec![0usize; self.servers.len()];
+            let mut group_of = vec![0usize; self.blocks.len()];
             for (g, members) in groups.iter().enumerate() {
                 for &m in members {
                     if m < group_of.len() {
@@ -215,22 +549,18 @@ impl McnRack {
     }
 
     /// Partitions the switch now: server `s` belongs to `group_of[s]` and
-    /// can only reach its own group. Prefer [`set_outage_plan`] for
+    /// can only reach its own group. Prefer [`Self::set_outage_plan`] for
     /// scheduled chaos; this is the immediate form.
     pub fn partition_now(&mut self, group_of: Vec<usize>) {
-        assert_eq!(group_of.len(), self.servers.len());
+        assert_eq!(group_of.len(), self.blocks.len());
         self.stats.partitions.inc();
         self.partition = Some(group_of);
     }
 
-    /// Heals a partition now: full connectivity is restored and every
-    /// server block is woken so stalled retransmissions move immediately.
+    /// Heals a partition now: full connectivity is restored. Stalled
+    /// retransmissions resume at their own pending timers.
     pub fn heal_now(&mut self) {
         self.partition = None;
-        for s in 0..self.servers.len() {
-            self.engine.mark_dirty(s);
-            self.engine.mark_stale(s);
-        }
     }
 
     /// Whether the switch is currently partitioned.
@@ -238,75 +568,36 @@ impl McnRack {
         self.partition.is_some()
     }
 
-    fn apply_outage(&mut self, o: RackOutage, t: SimTime) {
-        let touched = |engine: &mut Engine, s: usize| {
-            engine.mark_dirty(s);
-            engine.mark_stale(s);
-        };
-        match o {
-            RackOutage::DimmCrash { server, dimm } => {
-                self.servers[server].crash_dimm(dimm, t);
-                touched(&mut self.engine, server);
-            }
-            RackOutage::DimmPowerOn { server, dimm } => {
-                self.servers[server].power_on_dimm(dimm, t);
-                touched(&mut self.engine, server);
-            }
-            RackOutage::LinkDown { server } => {
-                self.stats.link_downs.inc();
-                self.link_up[server] = false;
-                touched(&mut self.engine, server);
-            }
-            RackOutage::LinkUp { server } => {
-                self.link_up[server] = true;
-                touched(&mut self.engine, server);
-            }
-            RackOutage::Partition { group_of } => self.partition_now(group_of),
-            RackOutage::Heal => self.heal_now(),
-            RackOutage::NodeDown { server } => {
-                self.stats.node_reboots.inc();
-                self.stats.link_downs.inc();
-                self.link_up[server] = false;
-                for d in 0..self.servers[server].dimms() {
-                    self.servers[server].crash_dimm(d, t);
-                }
-                touched(&mut self.engine, server);
-            }
-            RackOutage::NodeUp { server } => {
-                self.link_up[server] = true;
-                for d in 0..self.servers[server].dimms() {
-                    self.servers[server].power_on_dimm(d, t);
-                }
-                touched(&mut self.engine, server);
-            }
-        }
-    }
-
     /// Number of servers.
     pub fn len(&self) -> usize {
-        self.servers.len()
+        self.blocks.len()
     }
 
     /// True for an empty rack (never constructed by [`new`](Self::new)).
     pub fn is_empty(&self) -> bool {
-        self.servers.is_empty()
+        self.blocks.is_empty()
     }
 
     /// Access server `s`.
     pub fn server(&self, s: usize) -> &McnSystem {
-        &self.servers[s]
+        &self.blocks[s].sys
     }
 
-    /// Mutable access to server `s`. Marks the server block's cached
-    /// wakeup stale: callers may inject work the engine cannot observe.
+    /// Mutable access to server `s` (e.g. to spawn work or open sockets;
+    /// the scheduler re-queries every block's deadline each window).
     pub fn server_mut(&mut self, s: usize) -> &mut McnSystem {
-        self.engine.mark_stale(s);
-        &mut self.servers[s]
+        &mut self.blocks[s].sys
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The synchronization quantum the scheduler derived from the
+    /// switch + downlink latency.
+    pub fn quantum(&self) -> Quantum {
+        self.sched.quantum()
     }
 
     /// Spawns a process on a host core of server `s`.
@@ -327,40 +618,20 @@ impl McnRack {
 
     /// All processes on all servers finished?
     pub fn all_procs_done(&self) -> bool {
-        self.servers.iter().all(|s| s.all_procs_done())
+        self.blocks.iter().all(|b| b.sys.all_procs_done())
     }
 
-    /// The combined wakeup of server block `s`: the server itself, its
-    /// NIC pipeline, and frames in flight on its links.
-    fn wakeup_of(&mut self, s: usize) -> Option<SimTime> {
-        [
-            self.servers[s].next_event(),
-            self.nics[s].next_wakeup(),
-            self.up[s].next_wakeup(),
-            self.down[s].next_wakeup(),
-        ]
-        .into_iter()
-        .flatten()
-        .min()
-    }
-
-    /// Re-queries stale server blocks' deadlines.
-    fn refresh_wakeups(&mut self) {
-        for s in self.engine.drain_stale() {
-            let w = self.wakeup_of(s);
-            self.engine.set_wakeup(s, w);
-        }
-    }
-
-    /// Earliest pending activity in the rack — one heap peek over the
-    /// per-server wakeup index, plus the next scheduled outage (a crash or
-    /// heal is activity even when every server is idle).
+    /// Earliest pending activity in the rack: the earliest block event
+    /// plus the next scheduled outage (a crash or heal is activity even
+    /// when every server is idle).
     pub fn next_event(&mut self) -> Option<SimTime> {
-        self.refresh_wakeups();
-        let t = match (self.engine.earliest(), self.outages.peek_time()) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        };
+        let mut t = self.outages.peek_time();
+        for b in self.blocks.iter_mut() {
+            t = match (t, Shard::next_event(b)) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
         t.map(|x| x.max(self.now))
     }
 
@@ -369,18 +640,18 @@ impl McnRack {
     /// prefix, plus a `wire` section with NIC/link timers.
     pub fn stall_report(&self, title: &str) -> StallReport {
         let mut r = StallReport::new(format!("{title} (rack of {} @ {})", self.len(), self.now));
-        for (s, srv) in self.servers.iter().enumerate() {
-            r.absorb(&format!("srv{s}."), &srv.stall_report("server"));
+        for (s, b) in self.blocks.iter().enumerate() {
+            r.absorb(&format!("srv{s}."), &b.sys.stall_report("server"));
         }
-        for s in 0..self.servers.len() {
+        for (s, b) in self.blocks.iter().enumerate() {
             r.line(
                 "wire",
                 format!(
                     "srv{s}: link_up={} nic_next={:?} up_next={:?} down_next={:?}",
-                    self.link_up[s],
-                    self.nics[s].next_event(),
-                    self.up[s].next_arrival(),
-                    self.down[s].next_arrival()
+                    b.link_up,
+                    b.nic.next_event(),
+                    b.up.next_arrival(),
+                    b.down.next_arrival()
                 ),
             );
         }
@@ -394,150 +665,51 @@ impl McnRack {
     }
 
     /// Who owns `ip` (by the rack address plan)?
+    #[cfg(test)]
     fn owner_of(&self, ip: std::net::Ipv4Addr) -> Option<usize> {
-        let o = ip.octets();
-        if o == [192, 168, 0, 0] {
-            return None;
-        }
-        if o[0] == 192 && o[1] == 168 && o[2] == 0 {
-            let s = (o[3] as usize).checked_sub(1)?;
-            return (s < self.servers.len()).then_some(s);
-        }
-        if o[0] == 10 && o[1] >= 1 {
-            let s = (o[1] as usize - 1) / 24;
-            return (s < self.servers.len()).then_some(s);
-        }
-        None
+        owner_of(ip, self.blocks.len())
     }
 
-    /// Processes everything due at `t`, polling only dirty server blocks.
-    pub fn advance(&mut self, t: SimTime) -> Activity {
-        assert!(t >= self.now, "time must not go backwards");
-        self.now = t;
-        self.refresh_wakeups();
-        self.engine.begin(t);
-        let mut any = false;
-        for round in 0.. {
-            if round >= 100_000 {
-                panic!("{}", self.stall_report("rack advance did not converge"));
-            }
-            let mut changed = false;
-            // Due hard events first: a crash at `t` must precede `t`'s
-            // traffic rounds so the data path sees consistent state.
-            while self.outages.peek_time().is_some_and(|pt| pt <= t) {
-                let (at, o) = self.outages.pop().expect("peeked");
-                self.apply_outage(o, at.max(t));
-                changed = true;
-            }
-            if self.engine.start_round() {
-                while let Some(s) = self.engine.pop_dirty() {
-                    if self.advance_server_block(s, t) {
-                        self.engine.mark_dirty(s);
-                        changed = true;
-                    }
-                }
-            }
-            if !changed {
-                break;
-            }
-            any = true;
-            self.engine.note_round();
-        }
-        for s in self.engine.drain_touched() {
-            let w = self.wakeup_of(s);
-            self.engine.set_wakeup(s, w);
-        }
-        Activity::from_flag(any)
+    /// Drives the rack with the windowed scheduler on `threads` workers.
+    fn drive(&mut self, target: SimTime, goal: RunGoal, threads: usize) -> RunReport {
+        let McnRack {
+            blocks,
+            switch,
+            now,
+            sched,
+            outages,
+            partition,
+            link_up,
+            stats,
+        } = self;
+        let mut fabric = RackFabric { switch, outages, partition, link_up, stats };
+        sched.run(blocks, &mut fabric, now, target, goal, threads)
     }
 
-    /// One round of progress for server block `s`: the server itself, its
-    /// NIC pipeline, its uplink into the switch, and its downlink into the
-    /// NIC. Cross-server frames mark the destination block dirty.
-    fn advance_server_block(&mut self, s: usize, t: SimTime) -> bool {
-        let mut changed = false;
-        self.servers[s].advance(t);
-        // NIC DMA completions the server collected for us.
-        for (waiter, job) in std::mem::take(&mut self.servers[s].foreign_jobs) {
-            debug_assert_eq!(waiter, NIC_WAITER);
-            let srv = &mut self.servers[s];
-            self.nics[s].on_job_done(job, t, &mut srv.host.cpus, &srv.host.cost, false);
-            changed = true;
+    /// Runs until every process on every server finishes, or `deadline`
+    /// passes (returns false). With `threads >= 2` the server blocks run
+    /// on worker threads under the synchronization quantum; the result —
+    /// final clock and every counter — is byte-identical to `threads = 1`.
+    pub fn run_parallel(&mut self, deadline: SimTime, threads: usize) -> bool {
+        self.drive(deadline, RunGoal::ProcsDone, threads).completed
+    }
+
+    /// Runs every event up to `deadline` on `threads` workers, then sets
+    /// the clock to it — the parallel analogue of
+    /// [`run_until`](mcn_sim::ComponentExt::run_until).
+    pub fn run_parallel_until(&mut self, deadline: SimTime, threads: usize) {
+        self.drive(deadline, RunGoal::Deadline, threads);
+    }
+
+    /// Event-loop accounting summed over the server blocks.
+    fn summed_stats(&self) -> EngineStats {
+        let mut s = EngineStats::default();
+        for b in &self.blocks {
+            s.component_polls.add(b.stats.component_polls.get());
+            s.rounds.add(b.stats.rounds.get());
+            s.advances.add(b.stats.advances.get());
         }
-        // F4 frames → NIC transmit, addressed to the owning server.
-        for mut frame in self.servers[s].take_external() {
-            changed = true;
-            let Some(dst_ip) = mcn_net::Ipv4Packet::decode(&frame.payload)
-                .ok()
-                .map(|p| p.dst)
-            else {
-                continue;
-            };
-            let Some(owner) = self.owner_of(dst_ip) else {
-                continue; // truly external: leaves the rack (dropped)
-            };
-            frame.dst = McnSystem::nic_mac(owner);
-            frame.src = McnSystem::nic_mac(s);
-            let srv = &mut self.servers[s];
-            let core = srv.host.cpus.least_loaded();
-            self.nics[s].xmit(frame, t, core, &mut srv.host.cpus, &srv.host.cost);
-        }
-        // NIC pipeline.
-        let srv = &mut self.servers[s];
-        for ev in self.nics[s].advance(t, &mut srv.host.mem) {
-            changed = true;
-            match ev {
-                NicEvent::TxWire(frame) => {
-                    if self.link_up[s] {
-                        self.up[s].send(frame, t);
-                    } else {
-                        // Severed uplink: the frame leaves the NIC and dies
-                        // on the wire. Transport retransmits after the heal.
-                        self.stats.uplink_drops.inc();
-                    }
-                }
-                NicEvent::RxDeliver(frame) => {
-                    self.servers[s].ingress_external(frame, t);
-                }
-            }
-        }
-        // Switch fabric.
-        for frame in self.up[s].poll(t) {
-            changed = true;
-            if !self.link_up[s] {
-                // In flight when the link was cut: lost.
-                self.stats.uplink_drops.inc();
-                continue;
-            }
-            let fwd_at = t + self.switch.forward_latency;
-            for p in self.switch.route(&frame, s) {
-                if let Some(groups) = &self.partition {
-                    if groups[p] != groups[s] {
-                        // Partitioned: the switch has no path between the
-                        // groups. Silent loss, exactly like a real fabric.
-                        self.stats.partition_drops.inc();
-                        continue;
-                    }
-                }
-                if !self.link_up[p] {
-                    self.stats.uplink_drops.inc();
-                    continue;
-                }
-                self.down[p].send(frame.clone(), fwd_at);
-                // The arrival belongs to block `p`; wake it (now for the
-                // poll below, or later via its refreshed wakeup entry).
-                self.engine.mark_dirty(p);
-            }
-        }
-        for frame in self.down[s].poll(t) {
-            changed = true;
-            if !self.link_up[s] {
-                self.stats.uplink_drops.inc();
-                continue;
-            }
-            let srv = &mut self.servers[s];
-            self.nics[s].wire_rx(frame, t, &mut srv.host.mem);
-        }
-        changed
+        s
     }
 }
 
@@ -549,15 +721,17 @@ impl Component for McnRack {
         McnRack::next_event(self)
     }
     fn advance(&mut self, t: SimTime) -> Activity {
-        McnRack::advance(self, t)
+        assert!(t >= self.now, "time must not go backwards");
+        let rep = self.drive(t, RunGoal::Deadline, 1);
+        Activity::from_flag(rep.events > 0)
     }
     fn procs_done(&self) -> bool {
         self.all_procs_done()
     }
     fn engine_accounting(&self, out: &mut Vec<(EngineStats, usize)>) {
-        out.push((self.engine.stats, self.servers.len()));
-        for srv in &self.servers {
-            srv.engine_accounting(out);
+        out.push((self.summed_stats(), self.blocks.len()));
+        for b in &self.blocks {
+            b.sys.engine_accounting(out);
         }
     }
 }
@@ -566,29 +740,32 @@ impl Instrumented for McnRack {
     /// The whole rack tree: each server's [`McnSystem`] registry under
     /// `srv{N}.*` (identical to its standalone paths), the rack-layer
     /// outage counters under `rack.*`, the ToR switch, each server's NIC
-    /// (`nic{N}.*`) and uplink/downlink (`link{N}.up/.down`), the rack
-    /// engine and the clock.
+    /// (`nic{N}.*`) and uplink/downlink (`link{N}.up/.down`), the summed
+    /// block event-loop accounting (`engine.*`), the windowed scheduler
+    /// (`sched.*`) and the clock.
     fn metrics(&self, out: &mut MetricSink) {
         out.counter("now_ps", self.now.as_ps());
         out.scoped("rack", |out| {
             out.counter("partition_drops", self.stats.partition_drops.get());
-            out.counter("uplink_drops", self.stats.uplink_drops.get());
+            let block_drops: u64 = self.blocks.iter().map(|b| b.uplink_drops.get()).sum();
+            out.counter("uplink_drops", self.stats.uplink_drops.get() + block_drops);
             out.counter("link_downs", self.stats.link_downs.get());
             out.counter("partitions", self.stats.partitions.get());
             out.counter("node_reboots", self.stats.node_reboots.get());
         });
         out.absorb("switch", &self.switch);
-        for (s, srv) in self.servers.iter().enumerate() {
-            out.absorb(&format!("srv{s}"), srv);
+        for (s, b) in self.blocks.iter().enumerate() {
+            out.absorb(&format!("srv{s}"), &b.sys);
         }
-        for s in 0..self.servers.len() {
-            out.absorb(&format!("nic{s}"), &self.nics[s]);
+        for (s, b) in self.blocks.iter().enumerate() {
+            out.absorb(&format!("nic{s}"), &b.nic);
             out.scoped(&format!("link{s}"), |out| {
-                out.absorb("up", &self.up[s]);
-                out.absorb("down", &self.down[s]);
+                out.absorb("up", &b.up);
+                out.absorb("down", &b.down);
             });
         }
-        out.absorb("engine", &self.engine.stats);
+        out.absorb("engine", &self.summed_stats());
+        out.absorb("sched", &self.sched);
     }
 }
 
@@ -841,7 +1018,7 @@ mod tests {
             .is_some());
         assert_eq!(rack.server(0).hdrv.stats.f3_forward.get(), 1);
         assert_eq!(rack.server(0).hdrv.stats.f4_external.get(), 0);
-        assert_eq!(rack.nics[0].tx_frames.get(), 0, "nothing on the wire");
+        assert_eq!(rack.blocks[0].nic.tx_frames.get(), 0, "nothing on the wire");
     }
 }
 

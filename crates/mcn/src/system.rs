@@ -111,8 +111,8 @@ enum StalledOp {
 ///
 /// Construct with [`McnSystem::new`], attach application processes with
 /// [`spawn_host`](Self::spawn_host) / [`spawn_dimm`](Self::spawn_dimm),
-/// then drive with [`run_until`](Self::run_until) or
-/// [`run_until_procs_done`](Self::run_until_procs_done).
+/// then drive with [`run_until`](mcn_sim::ComponentExt::run_until) or
+/// [`run_until_procs_done`](mcn_sim::ComponentExt::run_until_procs_done).
 #[derive(Debug)]
 pub struct McnSystem {
     sys: SystemConfig,

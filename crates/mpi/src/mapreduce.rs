@@ -40,7 +40,9 @@ const VOCAB: &[&str] = &[
 /// reference frequency; a fast hand-rolled wordcount).
 const SCAN_NS_PER_BYTE: f64 = 0.8;
 
-/// Generates rank `r`'s input split: `words` words drawn from [`VOCAB`].
+/// Generates rank `r`'s input split: `words` words drawn from a small
+/// closed vocabulary (so counts collide across ranks and the shuffle
+/// actually merges).
 pub fn generate_split(seed: u64, rank: usize, words: usize) -> String {
     let mut rng = DetRng::new(seed ^ 0x5EED).fork(rank as u64);
     let mut s = String::with_capacity(words * 8);

@@ -90,6 +90,19 @@ impl Link {
         Link::new(1.25e9, SimTime::from_us(1))
     }
 
+    /// Propagation latency: the minimum time between a send and its
+    /// arrival, independent of serialization. A conservative parallel
+    /// scheduler uses the smallest such latency on any cross-shard path
+    /// as its synchronization quantum bound (the dist-gem5 rule).
+    pub fn latency(&self) -> SimTime {
+        self.latency
+    }
+
+    /// Line rate in bytes per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
     /// Attaches a fault injector (usually carved out of a system-wide
     /// [`FaultPlan`] so the whole run replays from one seed). The link
     /// queries `Drop`, `BitFlip` and `Delay` per frame.

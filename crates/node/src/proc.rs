@@ -50,7 +50,14 @@ pub enum Poll {
 }
 
 /// An application state machine.
-pub trait Process {
+///
+/// `Send` is a supertrait so a node (and everything above it, up to an
+/// [`McnRack`-style] shard) can migrate to a worker thread under the
+/// quantum-synchronized parallel engine; processes hold no thread-bound
+/// state.
+///
+/// [`McnRack`-style]: mcn_sim::shard::Shard
+pub trait Process: Send {
     /// Advances the process as far as possible without blocking.
     fn poll(&mut self, ctx: &mut ProcCtx<'_>) -> Poll;
 

@@ -8,6 +8,18 @@
 //! titled sections of lines and renders it as one readable block, so the
 //! guard can `panic!("{report}")` (or a test can print it) instead of
 //! "advance did not converge".
+//!
+//! ```
+//! use mcn_sim::StallReport;
+//!
+//! let mut r = StallReport::new("transfer stalled at 1.5 ms");
+//! r.line("sockets", "sock1 tcp Established in_flight=1448 rtx_at=2.1ms");
+//! r.line("rings", "dimm0: tx_used=12 rx_used=0");
+//! let text = r.to_string();
+//! assert!(text.contains("=== transfer stalled at 1.5 ms ==="));
+//! assert!(text.contains("[sockets]"));
+//! assert!(text.contains("rtx_at=2.1ms"));
+//! ```
 
 use std::fmt;
 

@@ -21,6 +21,38 @@
 //! so two runs that deliver the same effects in the same order poll
 //! components in the same order. No hash-ordered iteration is involved
 //! anywhere on the hot path.
+//!
+//! A minimal orchestrator is one [`Component`] impl away from the shared
+//! drivers:
+//!
+//! ```
+//! use mcn_sim::{Activity, Component, ComponentExt, SimTime};
+//!
+//! /// Fires every 10 ns until it has ticked 5 times.
+//! struct Ticker { now: SimTime, ticks: u32 }
+//!
+//! impl Component for Ticker {
+//!     fn now(&self) -> SimTime { self.now }
+//!     fn next_event(&mut self) -> Option<SimTime> {
+//!         (self.ticks < 5).then(|| self.now + SimTime::from_ns(10))
+//!     }
+//!     fn advance(&mut self, t: SimTime) -> Activity {
+//!         self.now = t;
+//!         self.ticks += 1;
+//!         Activity::Active
+//!     }
+//!     fn procs_done(&self) -> bool { self.ticks >= 5 }
+//! }
+//!
+//! let mut c = Ticker { now: SimTime::ZERO, ticks: 0 };
+//! assert!(c.run_until_procs_done(SimTime::from_us(1)));
+//! assert_eq!(c.ticks, 5);
+//! assert_eq!(c.now(), SimTime::from_ns(50));
+//! ```
+//!
+//! For running the *shards of one orchestrator* on several worker
+//! threads (instead of stepping whole orchestrators like this), see
+//! [`crate::shard`].
 
 use std::collections::VecDeque;
 

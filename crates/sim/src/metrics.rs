@@ -2,7 +2,8 @@
 //! rate-over-window.
 //!
 //! Every layer of the reproduction keeps its counters as plain struct
-//! fields ([`Counter`], [`Histogram`], [`RateMeter`]) — cheap to bump on
+//! fields ([`Counter`](crate::stats::Counter), [`Histogram`],
+//! [`RateMeter`]) — cheap to bump on
 //! the hot path and directly assertable in unit tests. This module adds
 //! the *read side* real serving stacks have: each layer implements
 //! [`Instrumented`] once, naming its instruments into a [`MetricSink`],

@@ -1,0 +1,588 @@
+//! Conservative parallel discrete-event execution (the dist-gem5 rule).
+//!
+//! The single-threaded [`Engine`](crate::engine::Engine) drives every
+//! component of a system from one loop. This module adds the classic
+//! conservative alternative used by dist-gem5 (the paper's evaluation
+//! substrate): partition the system into **shards** that only interact
+//! through links with a known minimum latency, run each shard
+//! independently up to a synchronization **quantum** derived from that
+//! latency, and exchange cross-shard frames at barrier points through a
+//! deterministic, sender-ordered mailbox.
+//!
+//! # The quantum rule
+//!
+//! If every cross-shard effect emitted at time `t` reaches its
+//! destination shard no earlier than `t + Q` (for the MCN rack, `Q` =
+//! switch forwarding latency + egress link latency), then a window
+//! `[t1, t1 + Q)` can be simulated by all shards **without any
+//! communication**: nothing emitted inside the window can land inside
+//! it. [`ParallelEngine`] plans closed windows `[t1, t1 + Q − 1 ps]`
+//! (the `− 1 ps` makes the bound strict), runs every shard to the window
+//! end, then routes the collected emissions through the
+//! [`Fabric`] at the barrier.
+//!
+//! # Determinism
+//!
+//! Emissions are merged in `(time, shard index, per-shard emission
+//! order)` order before routing, and routed frames are handed back to
+//! the owning shard at the start of its next window. Because frames
+//! carry exact timestamps and links tolerate future-dated sends, the
+//! final state is **independent of the window size and thread count**:
+//! `threads = 1` and `threads = N` produce byte-identical metrics
+//! snapshots. The serial path is the same windowed algorithm run
+//! inline, so there is exactly one scheduler to trust.
+//!
+//! ```
+//! use mcn_sim::shard::{Fabric, Outbox, ParallelEngine, Quantum, RunGoal, Shard};
+//! use mcn_sim::SimTime;
+//!
+//! /// A shard that fires one local event per pending token and then
+//! /// forwards the token to the next shard in the ring.
+//! struct Ring {
+//!     tokens: Vec<(SimTime, u32)>,
+//!     seen: u32,
+//! }
+//!
+//! impl Shard for Ring {
+//!     type Frame = u32;
+//!     type Cmd = ();
+//!     fn next_event(&mut self) -> Option<SimTime> {
+//!         self.tokens.iter().map(|&(t, _)| t).min()
+//!     }
+//!     fn apply(&mut self, _at: SimTime, _cmd: ()) {}
+//!     fn deliver(&mut self, at: SimTime, hops: u32) {
+//!         self.tokens.push((at, hops));
+//!     }
+//!     fn run_window(&mut self, end: SimTime, outbox: &mut Outbox<u32>) -> u64 {
+//!         let mut steps = 0;
+//!         while let Some(i) = (0..self.tokens.len()).find(|&i| self.tokens[i].0 <= end) {
+//!             let (t, hops) = self.tokens.remove(i);
+//!             self.seen += 1;
+//!             steps += 1;
+//!             if hops > 0 {
+//!                 outbox.emit(t, hops - 1); // arrives at t + link latency
+//!             }
+//!         }
+//!         steps
+//!     }
+//! }
+//!
+//! /// Ring topology: shard `s` forwards to `s + 1`, one µs per hop.
+//! struct RingFabric {
+//!     n: usize,
+//! }
+//!
+//! impl Fabric<Ring> for RingFabric {
+//!     fn next_control(&mut self) -> Option<SimTime> {
+//!         None
+//!     }
+//!     fn pop_controls(&mut self, _now: SimTime, _out: &mut Vec<(usize, SimTime, ())>) {}
+//!     fn route(&mut self, from: usize, at: SimTime, hops: u32, out: &mut Vec<(usize, SimTime, u32)>) {
+//!         out.push(((from + 1) % self.n, at + SimTime::from_us(1), hops));
+//!     }
+//! }
+//!
+//! let run = |threads: usize| {
+//!     let mut shards: Vec<Ring> = (0..3)
+//!         .map(|_| Ring { tokens: vec![], seen: 0 })
+//!         .collect();
+//!     shards[0].tokens.push((SimTime::ZERO, 7)); // 7 hops around the ring
+//!     let mut fabric = RingFabric { n: 3 };
+//!     let mut eng = ParallelEngine::new(Quantum::new(SimTime::from_us(1)));
+//!     let mut now = SimTime::ZERO;
+//!     let rep = eng.run(
+//!         &mut shards,
+//!         &mut fabric,
+//!         &mut now,
+//!         SimTime::from_ms(1),
+//!         RunGoal::Deadline,
+//!         threads,
+//!     );
+//!     assert!(rep.completed);
+//!     (now, shards.iter().map(|s| s.seen).collect::<Vec<_>>())
+//! };
+//! // Serial and parallel runs agree exactly: same token counts, same clock.
+//! assert_eq!(run(1), run(2));
+//! assert_eq!(run(1).1.iter().sum::<u32>(), 8);
+//! ```
+
+use std::sync::mpsc;
+use std::thread;
+
+use crate::metrics::{Instrumented, MetricSink};
+use crate::stats::Counter;
+use crate::time::SimTime;
+
+/// The synchronization window width: a conservative lower bound on the
+/// time a cross-shard effect takes to reach another shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quantum(SimTime);
+
+impl Quantum {
+    /// A quantum of `window` picoseconds-of-`SimTime`. Panics if zero:
+    /// a zero-latency boundary cannot be sharded conservatively.
+    pub fn new(window: SimTime) -> Self {
+        assert!(
+            window > SimTime::ZERO,
+            "quantum must be positive: zero-latency cross-shard paths cannot be windowed"
+        );
+        Quantum(window)
+    }
+
+    /// The dist-gem5 rule for a switched fabric: any frame leaving a
+    /// shard first pays the switch forwarding latency, then the egress
+    /// link latency, before it can touch another shard.
+    pub fn from_path(switch_latency: SimTime, link_latency: SimTime) -> Self {
+        Self::new(switch_latency + link_latency)
+    }
+
+    /// The window width.
+    pub fn window(&self) -> SimTime {
+        self.0
+    }
+}
+
+/// Cross-shard emissions collected during one window, in emission order.
+#[derive(Debug)]
+pub struct Outbox<F> {
+    items: Vec<(SimTime, F)>,
+}
+
+impl<F> Outbox<F> {
+    /// An empty outbox.
+    pub fn new() -> Self {
+        Outbox { items: Vec::new() }
+    }
+
+    /// Records a frame leaving the shard at time `at` (the time it hits
+    /// the shard boundary, *before* any fabric latency).
+    pub fn emit(&mut self, at: SimTime, frame: F) {
+        self.items.push((at, frame));
+    }
+
+    /// Number of queued emissions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<F> Default for Outbox<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One independently-schedulable partition of a system: everything that
+/// interacts at zero (or sub-quantum) latency must live in one shard.
+///
+/// The contract mirrors [`Component`](crate::engine::Component) but adds
+/// the two channels a windowed scheduler needs: frames arriving from
+/// other shards ([`deliver`](Shard::deliver)) and control commands from
+/// the coordinator ([`apply`](Shard::apply)). Both are handed to the
+/// shard at the **start** of a window and carry exact timestamps, so a
+/// late hand-off cannot skew results.
+pub trait Shard: Send {
+    /// A cross-shard message (e.g. an Ethernet frame).
+    type Frame: Send;
+    /// A coordinator-issued control command (e.g. "crash DIMM 0").
+    type Cmd: Send;
+
+    /// Earliest pending local event, if any (clamped to the shard's own
+    /// clock). Used by the coordinator to plan the next window.
+    fn next_event(&mut self) -> Option<SimTime>;
+
+    /// Applies a control command effective at `at` (always within or
+    /// before the shard's next window).
+    fn apply(&mut self, at: SimTime, cmd: Self::Cmd);
+
+    /// Accepts a frame from another shard that enters this shard's
+    /// ingress path at `at` (e.g. starts serialization on the downlink).
+    fn deliver(&mut self, at: SimTime, frame: Self::Frame);
+
+    /// Runs every local event with `time ≤ end`, pushing cross-shard
+    /// emissions into `outbox` stamped with their emission time.
+    /// Returns the number of event times processed (for activity and
+    /// progress accounting).
+    fn run_window(&mut self, end: SimTime, outbox: &mut Outbox<Self::Frame>) -> u64;
+
+    /// True when every process owned by the shard has finished. The
+    /// default claims completion, matching components that host none.
+    fn procs_done(&self) -> bool {
+        true
+    }
+}
+
+/// The coordinator-side boundary logic: scheduled control events (e.g.
+/// an [`OutagePlan`](crate::outage::OutagePlan)) and frame routing
+/// between shards (e.g. the ToR switch). Runs only at barriers, on the
+/// coordinator thread, in deterministic merged order — which is what
+/// keeps stateful boundary components (a learning switch, a partition
+/// filter) byte-identical across thread counts.
+pub trait Fabric<S: Shard> {
+    /// Earliest scheduled control event, if any.
+    fn next_control(&mut self) -> Option<SimTime>;
+
+    /// Pops every control event due at or before `now`, translating
+    /// shard-directed ones into `(shard index, effective time, cmd)`
+    /// entries. Coordinator-only effects (e.g. a switch partition) are
+    /// applied internally.
+    fn pop_controls(&mut self, now: SimTime, out: &mut Vec<(usize, SimTime, S::Cmd)>);
+
+    /// Routes one frame emitted by shard `from` at time `at`, pushing
+    /// `(destination shard, ingress time, frame)` deliveries. Dropping
+    /// the frame (dead link, partition) is expressed by pushing nothing.
+    fn route(&mut self, from: usize, at: SimTime, frame: S::Frame, out: &mut Vec<(usize, SimTime, S::Frame)>);
+}
+
+/// What [`ParallelEngine::run`] is asked to achieve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunGoal {
+    /// Run every event up to the target time, then set the clock to it
+    /// (the windowed analogue of
+    /// [`ComponentExt::run_until`](crate::engine::ComponentExt::run_until)).
+    Deadline,
+    /// Run until every shard reports its processes done, failing if the
+    /// target time passes first (the analogue of
+    /// [`run_until_procs_done`](crate::engine::ComponentExt::run_until_procs_done)).
+    ProcsDone,
+}
+
+/// Outcome of one [`ParallelEngine::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Whether the goal was met (`Deadline` always completes; `ProcsDone`
+    /// fails on timeout, leaving the clock at the last barrier).
+    pub completed: bool,
+    /// Local event times processed plus control events applied — zero
+    /// means the run was a pure clock advance.
+    pub events: u64,
+}
+
+/// Deterministic counters for the windowed scheduler itself.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ShardStats {
+    /// Synchronization windows executed (barrier count).
+    pub windows: Counter,
+    /// Cross-shard frames routed through the fabric.
+    pub messages: Counter,
+}
+
+impl Instrumented for ShardStats {
+    fn metrics(&self, out: &mut MetricSink) {
+        out.counter("windows", self.windows.get());
+        out.counter("messages", self.messages.get());
+    }
+}
+
+/// What one shard reports back at a barrier.
+struct ShardReport<F> {
+    next_event: Option<SimTime>,
+    procs_done: bool,
+    emitted: Vec<(SimTime, F)>,
+    steps: u64,
+}
+
+/// Per-shard work shipped with a window job.
+struct ShardWork<C, F> {
+    cmds: Vec<(SimTime, C)>,
+    deliveries: Vec<(SimTime, F)>,
+}
+
+enum Job<C, F> {
+    Round {
+        end: Option<SimTime>,
+        work: Vec<ShardWork<C, F>>,
+    },
+    Stop,
+}
+
+/// Applies pending work to one shard and (optionally) runs one window.
+/// Shared verbatim by the serial and the threaded paths, so both drive
+/// shards identically.
+fn run_one<S: Shard>(
+    shard: &mut S,
+    end: Option<SimTime>,
+    work: ShardWork<S::Cmd, S::Frame>,
+) -> ShardReport<S::Frame> {
+    for (at, cmd) in work.cmds {
+        shard.apply(at, cmd);
+    }
+    for (at, frame) in work.deliveries {
+        shard.deliver(at, frame);
+    }
+    let mut outbox = Outbox::new();
+    let steps = match end {
+        Some(end) => shard.run_window(end, &mut outbox),
+        None => 0,
+    };
+    ShardReport {
+        next_event: shard.next_event(),
+        procs_done: shard.procs_done(),
+        emitted: outbox.items,
+        steps,
+    }
+}
+
+/// The windowed conservative scheduler: plans quantum-bounded windows,
+/// dispatches them to shards (inline or on worker threads), and merges
+/// cross-shard traffic deterministically at each barrier. See the
+/// [module docs](self) for the synchronization rule and the determinism
+/// argument.
+#[derive(Debug)]
+pub struct ParallelEngine {
+    quantum: Quantum,
+    /// Scheduler counters (deterministic; safe to snapshot).
+    pub stats: ShardStats,
+}
+
+impl ParallelEngine {
+    /// A scheduler with the given synchronization quantum.
+    pub fn new(quantum: Quantum) -> Self {
+        ParallelEngine { quantum, stats: ShardStats::default() }
+    }
+
+    /// The configured quantum.
+    pub fn quantum(&self) -> Quantum {
+        self.quantum
+    }
+
+    /// Drives `shards` toward `target` under `goal` using `threads`
+    /// worker threads (clamped to `[1, shards.len()]`; `1` runs the same
+    /// windowed algorithm inline). `now` is the system clock, advanced
+    /// to each barrier as windows complete.
+    pub fn run<S, F>(
+        &mut self,
+        shards: &mut [S],
+        fabric: &mut F,
+        now: &mut SimTime,
+        target: SimTime,
+        goal: RunGoal,
+        threads: usize,
+    ) -> RunReport
+    where
+        S: Shard,
+        F: Fabric<S>,
+    {
+        let n = shards.len();
+        if n == 0 {
+            if goal == RunGoal::Deadline {
+                *now = target.max(*now);
+            }
+            return RunReport { completed: true, events: 0 };
+        }
+        let threads = threads.clamp(1, n);
+        if threads == 1 {
+            let mut dispatch = |end, cmds: Vec<Vec<(SimTime, S::Cmd)>>, dels: Vec<Vec<(SimTime, S::Frame)>>| {
+                shards
+                    .iter_mut()
+                    .zip(cmds.into_iter().zip(dels))
+                    .map(|(s, (cmds, deliveries))| run_one(s, end, ShardWork { cmds, deliveries }))
+                    .collect()
+            };
+            return self.coordinate::<S, F>(n, fabric, now, target, goal, &mut dispatch);
+        }
+
+        let chunk = n.div_ceil(threads);
+        let workers = n.div_ceil(chunk);
+        thread::scope(|scope| {
+            let (res_tx, res_rx) = mpsc::channel();
+            let mut job_txs = Vec::with_capacity(workers);
+            for (w, shard_chunk) in shards.chunks_mut(chunk).enumerate() {
+                let (job_tx, job_rx) = mpsc::channel::<Job<S::Cmd, S::Frame>>();
+                job_txs.push(job_tx);
+                let res_tx = res_tx.clone();
+                scope.spawn(move || {
+                    while let Ok(job) = job_rx.recv() {
+                        match job {
+                            Job::Stop => break,
+                            Job::Round { end, work } => {
+                                let reports: Vec<_> = shard_chunk
+                                    .iter_mut()
+                                    .zip(work)
+                                    .map(|(s, work)| run_one(s, end, work))
+                                    .collect();
+                                if res_tx.send((w, reports)).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            let mut dispatch = |end, mut cmds: Vec<Vec<(SimTime, S::Cmd)>>, mut dels: Vec<Vec<(SimTime, S::Frame)>>| {
+                for (w, job_tx) in job_txs.iter().enumerate() {
+                    let lo = w * chunk;
+                    let hi = n.min(lo + chunk);
+                    let work = (lo..hi)
+                        .map(|g| ShardWork {
+                            cmds: std::mem::take(&mut cmds[g]),
+                            deliveries: std::mem::take(&mut dels[g]),
+                        })
+                        .collect();
+                    job_tx
+                        .send(Job::Round { end, work })
+                        .expect("shard worker exited early");
+                }
+                let mut out: Vec<Option<ShardReport<S::Frame>>> = (0..n).map(|_| None).collect();
+                for _ in 0..workers {
+                    let (w, reports) = res_rx.recv().expect("shard worker panicked");
+                    for (i, r) in reports.into_iter().enumerate() {
+                        out[w * chunk + i] = Some(r);
+                    }
+                }
+                out.into_iter().map(|r| r.expect("missing shard report")).collect()
+            };
+            let report = self.coordinate::<S, F>(n, fabric, now, target, goal, &mut dispatch);
+            for job_tx in &job_txs {
+                let _ = job_tx.send(Job::Stop);
+            }
+            report
+        })
+    }
+
+    /// The coordinator loop, shared by the inline and threaded paths.
+    /// `dispatch` applies per-shard work and optionally runs one window
+    /// on every shard, returning reports in shard order.
+    #[allow(clippy::type_complexity)]
+    fn coordinate<S, F>(
+        &mut self,
+        n: usize,
+        fabric: &mut F,
+        now: &mut SimTime,
+        target: SimTime,
+        goal: RunGoal,
+        dispatch: &mut dyn FnMut(
+            Option<SimTime>,
+            Vec<Vec<(SimTime, S::Cmd)>>,
+            Vec<Vec<(SimTime, S::Frame)>>,
+        ) -> Vec<ShardReport<S::Frame>>,
+    ) -> RunReport
+    where
+        S: Shard,
+        F: Fabric<S>,
+    {
+        let one_ps = SimTime::from_ps(1);
+        let span = self.quantum.window().saturating_sub(one_ps);
+        let empty_cmds = || (0..n).map(|_| Vec::new()).collect::<Vec<_>>();
+        let empty_dels = || (0..n).map(|_| Vec::new()).collect::<Vec<_>>();
+
+        let mut pending: Vec<Vec<(SimTime, S::Frame)>> = empty_dels();
+        let mut cmds: Vec<Vec<(SimTime, S::Cmd)>> = empty_cmds();
+        let mut ctl_buf: Vec<(usize, SimTime, S::Cmd)> = Vec::new();
+        let mut route_buf: Vec<(usize, SimTime, S::Frame)> = Vec::new();
+        let mut events = 0u64;
+        let mut idle_windows = 0u32;
+
+        // Initial probe: learn every shard's next event and done flag
+        // without running a window.
+        let mut reports = dispatch(None, empty_cmds(), empty_dels());
+
+        let completed = loop {
+            if goal == RunGoal::ProcsDone && reports.iter().all(|r| r.procs_done) {
+                break true;
+            }
+
+            // Plan the next window start: the earliest local event,
+            // pending delivery, or scheduled control event.
+            let mut t1: Option<SimTime> = None;
+            let mut merge = |t: Option<SimTime>| {
+                t1 = match (t1, t) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                }
+            };
+            for r in &reports {
+                merge(r.next_event);
+            }
+            for dels in &pending {
+                merge(dels.iter().map(|&(at, _)| at).min());
+            }
+            merge(fabric.next_control());
+
+            let t1 = match t1 {
+                Some(t) if t.max(*now) <= target => t.max(*now),
+                _ => {
+                    // Nothing left inside the horizon.
+                    if goal == RunGoal::Deadline {
+                        *now = target.max(*now);
+                    }
+                    break goal == RunGoal::Deadline;
+                }
+            };
+            *now = t1;
+
+            // Controls due at the window start become per-shard commands
+            // (and coordinator-side state changes) before any shard runs
+            // past them — outages only ever land on window boundaries.
+            fabric.pop_controls(t1, &mut ctl_buf);
+            for (shard, at, cmd) in ctl_buf.drain(..) {
+                events += 1;
+                cmds[shard].push((at.max(t1), cmd));
+            }
+
+            // Close the window one picosecond short of the quantum so
+            // every in-window emission lands strictly after it, and
+            // never straddle the target or the next control event.
+            let mut end = t1.checked_add(span).unwrap_or(SimTime::MAX).min(target);
+            if let Some(ctl) = fabric.next_control() {
+                end = end.min(ctl.saturating_sub(one_ps));
+            }
+
+            let events_before = events;
+            let had_pending = pending.iter().any(|p| !p.is_empty());
+            reports = dispatch(Some(end), std::mem::replace(&mut cmds, empty_cmds()), std::mem::replace(&mut pending, empty_dels()));
+            self.stats.windows.inc();
+            *now = end;
+
+            // Barrier: merge emissions in (time, shard, emission order)
+            // and route each through the fabric exactly once.
+            let mut merged: Vec<(SimTime, usize, S::Frame)> = Vec::new();
+            for (s, r) in reports.iter_mut().enumerate() {
+                events += r.steps;
+                for (at, frame) in r.emitted.drain(..) {
+                    merged.push((at, s, frame));
+                }
+            }
+            merged.sort_by_key(|&(at, s, _)| (at, s));
+            for (at, s, frame) in merged {
+                self.stats.messages.inc();
+                fabric.route(s, at, frame, &mut route_buf);
+            }
+            for (dest, at, frame) in route_buf.drain(..) {
+                pending[dest].push((at, frame));
+            }
+
+            // A window that applied nothing and processed nothing cannot
+            // repeat forever: that is a shard advertising an event it
+            // never consumes.
+            if events == events_before && !had_pending {
+                idle_windows += 1;
+                assert!(
+                    idle_windows < 10_000,
+                    "windowed scheduler stalled at {now}: a shard reports a next event it never processes"
+                );
+            } else {
+                idle_windows = 0;
+            }
+        };
+
+        // Hand leftover in-flight deliveries to their shards before
+        // returning so no frame is lost between run() calls.
+        if pending.iter().any(|p| !p.is_empty()) {
+            dispatch(None, empty_cmds(), std::mem::take(&mut pending));
+        }
+        RunReport { completed, events }
+    }
+}
+
+impl Instrumented for ParallelEngine {
+    fn metrics(&self, out: &mut MetricSink) {
+        self.stats.metrics(out);
+        out.counter("quantum_ps", self.quantum.window().as_ps());
+    }
+}

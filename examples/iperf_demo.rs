@@ -1,5 +1,15 @@
 //! iperf over the memory channel vs 10GbE — a miniature of Fig. 8(a).
 //!
+//! Two clients stream 4 MiB each into one server, with identical
+//! application code on three different "wires": a 3-node 10GbE
+//! `EthernetCluster` (the paper's baseline, wire-limited at ~10 Gbps),
+//! then a 2-DIMM `McnSystem` at optimisation levels mcn0 (unoptimised),
+//! mcn3 (+ALERT_N, checksum bypass, 9 KB MTU) and mcn5 (+TSO, MCN-DMA)
+//! — Table I's ladder. The printout shows each MCN level's bandwidth as
+//! a multiple of the 10GbE run, the paper's Fig. 8(a) normalisation.
+//! The full figure (1 server + 4 clients, every level, host↔MCN and
+//! MCN↔MCN) is `cargo run --release -p mcn-bench --bin fig8a`.
+//!
 //! Run with: `cargo run --release --example iperf_demo`
 
 use mcn::{ComponentExt, EthernetCluster, McnConfig, McnSystem, SystemConfig};

@@ -1,6 +1,20 @@
 //! Quickstart: build an MCN-enabled server, move real bytes across the
 //! memory channel, and look at the driver statistics.
 //!
+//! Three acts, mirroring the paper's data path end to end:
+//!
+//! 1. **UDP host → DIMM** — a datagram leaves the host stack, is chunked
+//!    into the DIMM's SRAM RX ring by the host driver (`memcpy_to_mcn`),
+//!    and surfaces in the MCN node's stack (forwarding case F2).
+//! 2. **TCP DIMM → DIMM** — a byte-exact stream between two MCN nodes,
+//!    relayed through the host's forwarding engine (case F3); the ACKs
+//!    ride the same rings back.
+//! 3. **Statistics** — the driver's frame/forward/ALERT_N counters and
+//!    the DDR4 channels' SRAM-vs-DRAM transaction mix, read straight off
+//!    the structs. (For the full tree of every counter in the system as
+//!    stable dotted paths, see `mcn::MetricsSnapshot` and the
+//!    `fault_injection` example's `--json` mode.)
+//!
 //! Run with: `cargo run --release --example quickstart`
 
 use bytes::Bytes;
