@@ -1,0 +1,216 @@
+//! Serving-tier bench-smoke: a memcached-style KV workload on a 4-DIMM
+//! rack (2 servers x 2 DIMMs, one `KvServer` per DIMM) under an
+//! open-loop, heavy-tailed client fleet that deliberately outruns the
+//! per-server in-flight budget, so the shedding path is on the critical
+//! path and its counters land in the output.
+//!
+//! Reports request latency percentiles (p50/p99/p999), goodput under the
+//! SLO, and the overload counters (`shed_requests`, `shed_conns`,
+//! `tcp.accept_overflows`, `tcp.syn_drops`), then re-runs the identical
+//! workload on `--threads N` (default 2) workers and hard-gates on the
+//! runs being byte-identical (same final clock, same full-registry
+//! snapshot — including the shared `ServeReport`, whose fields are all
+//! commutative by contract).
+//!
+//! Writes `BENCH_serving.json` into the working directory. Exit is
+//! nonzero if the parallel run diverges or the workload fails to finish;
+//! the SLO target itself is warn-only (simulated latency is a model
+//! property, not a CI-host property, but the model can drift).
+
+use std::time::Instant;
+
+use mcn::{McnConfig, McnRack, MetricSink, SystemConfig};
+use mcn_serve::{KvClient, KvClientConfig, KvServer, KvServerConfig, ServeReport};
+use mcn_sim::SimTime;
+
+const SERVERS: usize = 2;
+const DIMMS: usize = 2;
+const CLIENTS_PER_DIMM: u64 = 2;
+const REQS_PER_CLIENT: u64 = 250;
+const SLO: SimTime = SimTime::from_us(200);
+const DEADLINE: SimTime = SimTime::from_ms(50);
+
+type Report = std::sync::Arc<parking_lot::Mutex<ServeReport>>;
+
+/// Builds the benchmark workload: one KV server per DIMM with a modest
+/// in-flight budget, and an open-loop client fleet (2 clients per DIMM,
+/// heavy-tailed arrivals, skewed keys) that bursts past that budget.
+fn build_workload() -> (McnRack, Report) {
+    let report = ServeReport::shared(SLO);
+    let mut rack = McnRack::new(&SystemConfig::default(), SERVERS, DIMMS, McnConfig::level(3));
+    let server = KvServerConfig {
+        inflight_budget: 4,
+        ..KvServerConfig::default()
+    };
+    for s in 0..SERVERS {
+        for d in 0..DIMMS {
+            rack.spawn_dimm(s, d, Box::new(KvServer::new(server.clone(), report.clone())), 0);
+        }
+    }
+    for s in 0..SERVERS {
+        for d in 0..DIMMS {
+            let ip = rack.server(s).dimm_ip(d);
+            for c in 0..CLIENTS_PER_DIMM {
+                rack.spawn_host(
+                    s,
+                    Box::new(KvClient::new(
+                        KvClientConfig {
+                            server: ip,
+                            seed: 0xBE0 + ((s * DIMMS + d) as u64) * CLIENTS_PER_DIMM + c,
+                            n_requests: REQS_PER_CLIENT,
+                            mean_gap: SimTime::from_us(5),
+                            set_pct: 20,
+                            val_len: 512,
+                            pipeline: 32,
+                            ..KvClientConfig::default()
+                        },
+                        report.clone(),
+                    )),
+                    (d as u64 * CLIENTS_PER_DIMM + c) as usize % 2,
+                );
+            }
+        }
+    }
+    (rack, report)
+}
+
+/// Runs the workload on `threads` workers until the fleet drains (the
+/// servers are daemons, so the engine quiesces rather than completing)
+/// and returns wall-clock seconds.
+fn run_workload(rack: &mut McnRack, threads: usize) -> f64 {
+    let wall = Instant::now();
+    rack.run_parallel(DEADLINE, threads);
+    wall.elapsed().as_secs_f64()
+}
+
+/// Full counter tree (rack + shared report) as canonical JSON — the
+/// byte-identity witness between the serial and parallel runs.
+fn snapshot(rack: &McnRack, report: &Report) -> String {
+    let mut sink = MetricSink::new();
+    sink.absorb("rack", rack);
+    sink.absorb("serve", &*report.lock());
+    sink.finish().to_json()
+}
+
+fn main() {
+    let mut threads = 2usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--threads needs a positive integer");
+            }
+            other => panic!("unknown argument {other:?} (supported: --threads N)"),
+        }
+    }
+
+    // Serial reference run: the latency/goodput figures come from here.
+    let (mut rack, report) = build_workload();
+    let serial_wall_s = run_workload(&mut rack, 1);
+    let serial_snap = snapshot(&rack, &report);
+    let serial_now = rack.now();
+
+    // Parallel run on a fresh, identically-built rack.
+    let (mut prack, preport) = build_workload();
+    let parallel_wall_s = run_workload(&mut prack, threads);
+    let parallel_snap = snapshot(&prack, &preport);
+
+    if prack.now() != serial_now || parallel_snap != serial_snap {
+        eprintln!(
+            "FAIL: parallel run ({threads} threads) diverged from serial \
+             (now {} vs {serial_now})",
+            prack.now(),
+        );
+        for (s, p) in serial_snap.lines().zip(parallel_snap.lines()) {
+            if s != p {
+                eprintln!("  serial:   {s}\n  parallel: {p}");
+            }
+        }
+        std::process::exit(1);
+    }
+
+    let rep = report.lock();
+    let expected_clients = (SERVERS * DIMMS) as u64 * CLIENTS_PER_DIMM;
+    if rep.completed_clients != expected_clients || rep.ok == 0 {
+        eprintln!(
+            "FAIL: fleet did not drain by {DEADLINE}: {}/{expected_clients} clients, \
+             {} ok responses",
+            rep.completed_clients, rep.ok
+        );
+        std::process::exit(1);
+    }
+
+    let sim_s = serial_now.as_secs_f64();
+    let pct = |p: f64| rep.latency.percentile(p).unwrap_or(SimTime::ZERO);
+    let us = |t: SimTime| t.as_ps() as f64 / 1e6;
+    let p50 = pct(50.0);
+    let p99 = pct(99.0);
+    let p999 = pct(99.9);
+    let goodput_rps = rep.goodput_rps(serial_now);
+    let speedup = serial_wall_s / parallel_wall_s.max(1e-9);
+
+    // Stack-level admission counters, summed over every node in the rack.
+    let tree = mcn_sim::MetricsSnapshot::collect(&rack);
+    let sum = |leaf: &str| {
+        tree.iter()
+            .filter(|(p, _)| p.ends_with(leaf))
+            .map(|(p, _)| tree.get_u64(p))
+            .sum::<u64>()
+    };
+    let syn_drops = sum("tcp.syn_drops");
+    let accept_overflows = sum("tcp.accept_overflows");
+    let keepalive_giveups = sum("tcp.keepalive_giveups");
+
+    let mut sink = MetricSink::new();
+    sink.text(
+        "workload",
+        "rack 2x2 KV serving (8 open-loop clients, heavy-tailed arrivals, skewed keys)",
+    );
+    sink.value("sim_seconds", sim_s);
+    sink.value("wall_seconds", serial_wall_s);
+    sink.counter("requests_answered", rep.latency.count());
+    sink.counter("ok", rep.ok);
+    sink.counter("miss", rep.miss);
+    sink.counter("busy", rep.busy);
+    sink.value("latency_p50_us", us(p50));
+    sink.value("latency_p99_us", us(p99));
+    sink.value("latency_p999_us", us(p999));
+    sink.value("slo_us", us(SLO));
+    sink.counter("under_slo", rep.under_slo);
+    sink.value("goodput_under_slo_rps", goodput_rps);
+    sink.counter("shed_requests", rep.shed_requests);
+    sink.counter("shed_conns", rep.shed_conns);
+    sink.counter("syn_drops", syn_drops);
+    sink.counter("accept_overflows", accept_overflows);
+    sink.counter("keepalive_giveups", keepalive_giveups);
+    sink.counter("parallel_threads", threads as u64);
+    sink.value("parallel_wall_seconds", parallel_wall_s);
+    sink.value("parallel_speedup", speedup);
+    sink.absorb("rack", &rack);
+    sink.absorb("serve", &*rep);
+    let snap = sink.finish();
+    std::fs::write("BENCH_serving.json", snap.to_json()).expect("write BENCH_serving.json");
+    for (path, value) in snap
+        .iter()
+        .filter(|(p, _)| !p.starts_with("rack.") && !p.starts_with("serve."))
+    {
+        println!("{path} = {value}");
+    }
+
+    println!(
+        "OK: {threads}-thread serving run byte-identical to serial ({} metrics)",
+        serial_snap.lines().count()
+    );
+    if p99 > SLO {
+        eprintln!(
+            "WARN: p99 {p99} exceeds the {SLO} SLO — recorded as measured \
+             (warn-only gate; see EXPERIMENTS.md)"
+        );
+    } else {
+        println!("OK: p99 {p99} within the {SLO} SLO");
+    }
+}

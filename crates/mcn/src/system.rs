@@ -376,6 +376,21 @@ impl McnSystem {
         }
     }
 
+    /// Enables TCP keepalive (`SO_KEEPALIVE`) for connections opened from
+    /// now on by the *host* stack: probing starts after `idle` without
+    /// traffic, probes repeat every `intvl`, and `probes` unanswered probes
+    /// declare the peer dead. Serving workloads use this to reap half-open
+    /// connections left by crashed DIMMs instead of leaking sockets.
+    pub fn set_host_keepalive(&mut self, idle: SimTime, intvl: SimTime, probes: u32) {
+        self.host.stack.set_keepalive(idle, intvl, probes);
+    }
+
+    /// [`set_host_keepalive`](Self::set_host_keepalive) for DIMM `d`'s
+    /// stack (the near-memory server side).
+    pub fn set_dimm_keepalive(&mut self, d: usize, idle: SimTime, intvl: SimTime, probes: u32) {
+        self.dimms[d].node.stack.set_keepalive(idle, intvl, probes);
+    }
+
     /// Hard-crashes DIMM `d` now (see [`McnDimm::crash`]): the device
     /// freezes, its SRAM zeroes, the host port goes down and queued frames
     /// on both sides are lost.

@@ -74,6 +74,13 @@ enum Socket {
     TcpListener {
         port: u16,
         pending: VecDeque<SockId>,
+        /// Max embryonic (SynRcvd) connections; excess SYNs are silently
+        /// dropped and counted — the client retransmits, like a full SYN
+        /// queue without SYN cookies.
+        syn_backlog: usize,
+        /// Max fully established, not-yet-accepted connections; excess
+        /// SYNs are answered with RST (reject-fast) and counted.
+        accept_backlog: usize,
     },
     Tcp {
         conn: Box<TcpConn>,
@@ -154,6 +161,21 @@ pub struct StackStats {
     /// Frames dropped (either direction) because the interface's link was
     /// down.
     pub link_drops: Counter,
+    /// SYNs silently dropped because the listener's SYN (half-open) backlog
+    /// was full.
+    pub syn_drops: Counter,
+    /// SYNs answered with RST because the listener's accept queue was full
+    /// (reject-fast load shedding).
+    pub accept_overflows: Counter,
+    /// Queued connections that died before the application accepted them
+    /// (reset mid-handshake) and were reclaimed by `tcp_accept`.
+    pub accept_prunes: Counter,
+    /// Socket slots recycled after the connection finished its lifecycle
+    /// through TIME_WAIT (ports freed for reuse).
+    pub time_wait_reaped: Counter,
+    /// Socket slots recycled after a clean close (both directions FINned,
+    /// buffers drained) — includes `time_wait_reaped`.
+    pub slots_reaped: Counter,
 }
 
 /// One node's TCP/IPv4 network stack.
@@ -181,6 +203,10 @@ pub struct NetStack {
     next_ident: u16,
     next_port: u16,
     next_isn: u32,
+    /// Accumulated statistics of reaped (recycled) connection slots, so
+    /// [`tcp_totals`](Self::tcp_totals) never goes backwards when a slot
+    /// is freed.
+    dead_tcp: crate::tcp::TcpStats,
     /// Aggregate statistics.
     pub stats: StackStats,
 }
@@ -205,8 +231,20 @@ impl NetStack {
             next_ident: 1,
             next_port: 33000,
             next_isn: 1_000_000,
+            dead_tcp: crate::tcp::TcpStats::default(),
             stats: StackStats::default(),
         }
+    }
+
+    /// Enables TCP keepalive for connections created *after* this call
+    /// (like setting `SO_KEEPALIVE` plus the `TCP_KEEPIDLE`/`KEEPINTVL`/
+    /// `KEEPCNT` knobs on new sockets): after `idle` without traffic, up to
+    /// `probes` probes are sent `intvl` apart before the peer is declared
+    /// dead with [`TcpError::KeepaliveTimeout`](crate::tcp::TcpError).
+    pub fn set_keepalive(&mut self, idle: SimTime, intvl: SimTime, probes: u32) {
+        self.tcp_base.keepalive_idle = Some(idle);
+        self.tcp_base.keepalive_intvl = intvl;
+        self.tcp_base.keepalive_probes = probes;
     }
 
     /// Adds an interface; returns its index.
@@ -331,28 +369,78 @@ impl NetStack {
 
     // ---------------- TCP sockets ----------------
 
-    /// Opens a listening socket on `port` (any local address).
+    /// Opens a listening socket on `port` (any local address) with a
+    /// generous default backlog (1024 half-open + 1024 accept-queued).
     ///
     /// # Errors
     ///
     /// [`StackError::PortInUse`] if something already listens there.
     pub fn tcp_listen(&mut self, port: u16) -> Result<SockId, StackError> {
+        self.tcp_listen_with_backlog(port, 1024, 1024)
+    }
+
+    /// Opens a listening socket with explicit queue bounds: at most
+    /// `syn_backlog` embryonic (SYN-received) connections — excess SYNs
+    /// are silently dropped and counted in `syn_drops` — and at most
+    /// `accept_backlog` established connections awaiting `accept` —
+    /// excess SYNs are refused with RST and counted in `accept_overflows`.
+    /// Both bounds are clamped to at least 1.
+    ///
+    /// # Errors
+    ///
+    /// [`StackError::PortInUse`] if something already listens there.
+    pub fn tcp_listen_with_backlog(
+        &mut self,
+        port: u16,
+        syn_backlog: usize,
+        accept_backlog: usize,
+    ) -> Result<SockId, StackError> {
         if self.tcp_listeners.contains_key(&port) {
             return Err(StackError::PortInUse);
         }
         let id = self.alloc_sock(Socket::TcpListener {
             port,
             pending: VecDeque::new(),
+            syn_backlog: syn_backlog.max(1),
+            accept_backlog: accept_backlog.max(1),
         });
         self.tcp_listeners.insert(port, id.0);
         Ok(id)
     }
 
     /// Accepts a pending connection, if any.
+    ///
+    /// Connections are queued at SYN time, so one can die *in the queue* —
+    /// reset mid-handshake (a flood victim's RST) before the application
+    /// gets to it. Handing out such a corpse would be indistinguishable
+    /// from a connection that failed after accept, so dead queue entries
+    /// are pruned here instead: stats merged, 4-tuple freed, slot
+    /// recycled, `accept_prunes` incremented — and the next entry tried.
     pub fn tcp_accept(&mut self, listener: SockId) -> Option<SockId> {
-        match self.sockets.get_mut(listener.0) {
-            Some(Socket::TcpListener { pending, .. }) => pending.pop_front(),
-            _ => None,
+        loop {
+            let id = match self.sockets.get_mut(listener.0) {
+                Some(Socket::TcpListener { pending, .. }) => pending.pop_front()?,
+                _ => return None,
+            };
+            match &self.sockets[id.0] {
+                Socket::Tcp { conn, .. } if conn.error().is_none() => return Some(id),
+                Socket::Tcp { conn, .. } => {
+                    // Died in the queue: the application never saw the
+                    // handle, so nothing is lost by reclaiming it now
+                    // (it is already Closed — nothing left to flush).
+                    let key = (
+                        conn.local().0,
+                        conn.local().1,
+                        conn.remote().0,
+                        conn.remote().1,
+                    );
+                    self.dead_tcp.merge(conn.stats());
+                    self.conn_map.remove(&key);
+                    self.sockets[id.0] = Socket::Closed;
+                    self.stats.accept_prunes.inc();
+                }
+                _ => {}
+            }
         }
     }
 
@@ -483,7 +571,7 @@ impl NetStack {
             .iter()
             .enumerate()
             .filter_map(|(i, s)| match s {
-                Socket::TcpListener { port, pending } => Some(format!(
+                Socket::TcpListener { port, pending, .. } => Some(format!(
                     "sock{i} tcp-listen :{port} ({} pending)",
                     pending.len()
                 )),
@@ -534,21 +622,15 @@ impl NetStack {
         }
     }
 
-    /// Sums connection statistics over every TCP socket (including closed
-    /// ones still occupying slots) — the simulator's `netstat -s`.
+    /// Sums connection statistics over every TCP socket — live, closed
+    /// slots not yet recycled, and recycled ones (accumulated in
+    /// `dead_tcp`) — the simulator's `netstat -s`. Monotone even across
+    /// slot reaping.
     pub fn tcp_totals(&self) -> crate::tcp::TcpStats {
-        let mut total = crate::tcp::TcpStats::default();
+        let mut total = self.dead_tcp.clone();
         for s in &self.sockets {
             if let Socket::Tcp { conn, .. } = s {
-                let st = conn.stats();
-                total.data_segs_out += st.data_segs_out;
-                total.retransmits += st.retransmits;
-                total.fast_retransmits += st.fast_retransmits;
-                total.timeouts += st.timeouts;
-                total.acks_out += st.acks_out;
-                total.bytes_delivered += st.bytes_delivered;
-                total.bytes_sent += st.bytes_sent;
-                total.rto_giveups += st.rto_giveups;
+                total.merge(conn.stats());
             }
         }
         total
@@ -794,6 +876,41 @@ impl NetStack {
         }
         if seg.flags.syn && !seg.flags.ack {
             if let Some(&lidx) = self.tcp_listeners.get(&seg.dst_port) {
+                let (syn_backlog, accept_backlog, queued) = match &self.sockets[lidx] {
+                    Socket::TcpListener {
+                        syn_backlog,
+                        accept_backlog,
+                        pending,
+                        ..
+                    } => (*syn_backlog, *accept_backlog, pending.len()),
+                    _ => (usize::MAX, usize::MAX, 0),
+                };
+                if queued >= accept_backlog {
+                    // Accept queue full: the application is not keeping up.
+                    // Refuse fast with RST so the client can shed load
+                    // instead of burning its SYN-retransmission budget.
+                    self.stats.accept_overflows.inc();
+                    self.refuse_with_rst(ifidx, pkt, &seg, now);
+                    return;
+                }
+                let half_open = self
+                    .sockets
+                    .iter()
+                    .filter(|s| match s {
+                        Socket::Tcp { conn, .. } => {
+                            conn.state() == TcpState::SynRcvd
+                                && conn.local().1 == seg.dst_port
+                        }
+                        _ => false,
+                    })
+                    .count();
+                if half_open >= syn_backlog {
+                    // SYN queue full: drop silently (no SYN cookies in this
+                    // model); a real client retransmits, a flood source
+                    // does not get a socket.
+                    self.stats.syn_drops.inc();
+                    return;
+                }
                 let cfg = self.conn_cfg(ifidx);
                 let isn = self.next_isn;
                 self.next_isn = self.next_isn.wrapping_add(64_000);
@@ -818,31 +935,66 @@ impl NetStack {
         // No socket: answer non-RST segments with RST.
         if !seg.flags.rst {
             self.stats.drop_no_socket.inc();
-            let rst = TcpSegment {
-                src_port: seg.dst_port,
-                dst_port: seg.src_port,
-                seq: seg.ack,
-                ack: seg.seq.wrapping_add(seg.seq_len()),
-                flags: TcpFlags::RST,
-                window: 0,
-                mss: None,
-                wscale: None,
-                payload: Bytes::new(),
-                checksum_ok: true,
-            };
-            let verify_tx = self.ifaces[ifidx].cfg.tx_checksum;
-            let bytes = Bytes::from(rst.encode(pkt.dst, pkt.src, verify_tx));
-            let _ = self.send_ip(pkt.dst, pkt.src, IpProto::Tcp, bytes, now);
+            self.refuse_with_rst(ifidx, pkt, &seg, now);
         }
     }
 
-    /// Removes fully closed connections from the demux map.
+    /// Stages an RST answering `seg` (which reached no live connection).
+    fn refuse_with_rst(&mut self, ifidx: usize, pkt: &Ipv4Packet, seg: &TcpSegment, now: SimTime) {
+        let rst = TcpSegment {
+            src_port: seg.dst_port,
+            dst_port: seg.src_port,
+            seq: seg.ack,
+            ack: seg.seq.wrapping_add(seg.seq_len()),
+            flags: TcpFlags::RST,
+            window: 0,
+            mss: None,
+            wscale: None,
+            payload: Bytes::new(),
+            checksum_ok: true,
+        };
+        let verify_tx = self.ifaces[ifidx].cfg.tx_checksum;
+        let bytes = Bytes::from(rst.encode(pkt.dst, pkt.src, verify_tx));
+        let _ = self.send_ip(pkt.dst, pkt.src, IpProto::Tcp, bytes, now);
+    }
+
+    /// Removes fully closed connections from the demux map, and recycles
+    /// the socket slot when the close was clean.
     fn reap(&mut self, idx: usize, key: (Ipv4Addr, u16, Ipv4Addr, u16)) {
-        if let Socket::Tcp { conn, .. } = &self.sockets[idx] {
-            if conn.state() == TcpState::Closed && !conn.has_output() && conn.readable() == 0 {
-                self.conn_map.remove(&key);
-                // The socket slot itself stays until the app drops it; apps
-                // observe Closed state. (Slot reuse handled by alloc_sock.)
+        let Socket::Tcp { conn, .. } = &self.sockets[idx] else {
+            return;
+        };
+        if conn.state() != TcpState::Closed || conn.has_output() || conn.readable() != 0 {
+            return;
+        }
+        self.conn_map.remove(&key);
+        // Slot recycling is reserved for connections that finished their
+        // whole lifecycle (both FINs exchanged, no error): the app has
+        // nothing left to learn from the handle, and long churn runs must
+        // not leak a slot per connection. Errored connections keep their
+        // slot so `tcp_error`/`tcp_failed` stay observable until the app
+        // drops them.
+        if conn.finished_cleanly() {
+            self.dead_tcp.merge(conn.stats());
+            if conn.passed_time_wait() {
+                self.stats.time_wait_reaped.inc();
+            }
+            self.stats.slots_reaped.inc();
+            self.sockets[idx] = Socket::Closed;
+        }
+    }
+
+    /// Runs [`reap`](Self::reap) over every connection that is fully
+    /// closed and drained — [`on_timer`](Self::on_timer) calls this so
+    /// TIME_WAIT expiry (a pure timer event, no segment arrival) also
+    /// frees ports and slots.
+    fn reap_all(&mut self) {
+        for idx in 0..self.sockets.len() {
+            if let Socket::Tcp { conn, .. } = &self.sockets[idx] {
+                if conn.state() == TcpState::Closed {
+                    let (l, r) = (conn.local(), conn.remote());
+                    self.reap(idx, (l.0, l.1, r.0, r.1));
+                }
             }
         }
     }
@@ -978,6 +1130,10 @@ impl NetStack {
                 if conn.state() != TcpState::Closed {
                     conn.abort();
                 }
+                if let Socket::Tcp { conn, .. } = &self.sockets[sock.0] {
+                    // Keep tcp_totals monotone across the drop.
+                    self.dead_tcp.merge(conn.stats());
+                }
                 self.flush_conn(sock.0, now);
                 self.conn_map.remove(&key);
             }
@@ -1015,6 +1171,7 @@ impl NetStack {
                 self.flush_conn(idx, now);
             }
         }
+        self.reap_all();
         self.drain_loopback(now);
     }
 }
@@ -1043,6 +1200,15 @@ impl Instrumented for NetStack {
         out.counter("malformed", self.stats.malformed.get());
         out.counter("echo_replies", self.stats.echo_replies.get());
         out.counter("link_drops", self.stats.link_drops.get());
+        // Listener/lifecycle counters live beside the per-connection
+        // totals under the same `tcp` scope (distinct leaf names).
+        out.scoped("tcp", |out| {
+            out.counter("syn_drops", self.stats.syn_drops.get());
+            out.counter("accept_overflows", self.stats.accept_overflows.get());
+            out.counter("accept_prunes", self.stats.accept_prunes.get());
+            out.counter("time_wait_reaped", self.stats.time_wait_reaped.get());
+            out.counter("slots_reaped", self.stats.slots_reaped.get());
+        });
         out.absorb("tcp", &self.tcp_totals());
     }
 }
@@ -1051,7 +1217,7 @@ impl Instrumented for NetStack {
 mod tests {
     use super::*;
 
-    fn mk_pair() -> (NetStack, NetStack, SimTime) {
+    pub(super) fn mk_pair() -> (NetStack, NetStack, SimTime) {
         // Two nodes A (10.0.0.1) and B (10.0.0.2) on one subnet.
         let mut a = NetStack::new(TcpConfig::default());
         let mut b = NetStack::new(TcpConfig::default());
@@ -1084,7 +1250,7 @@ mod tests {
         moved
     }
 
-    fn settle(a: &mut NetStack, b: &mut NetStack, now: &mut SimTime) {
+    pub(super) fn settle(a: &mut NetStack, b: &mut NetStack, now: &mut SimTime) {
         for _ in 0..1000 {
             if !shuttle(a, b, *now) {
                 // Advance to next timer if any.
@@ -1320,6 +1486,7 @@ mod tests {
 
 #[cfg(test)]
 mod drop_tests {
+    use super::tests::{mk_pair, settle};
     use super::*;
 
     #[test]
@@ -1356,5 +1523,130 @@ mod drop_tests {
         let seg = TcpSegment::decode(&pkt.payload, pkt.src, pkt.dst, true).unwrap();
         assert!(seg.flags.rst);
         assert_eq!(a.tcp_state(c), TcpState::Closed);
+    }
+
+    /// Hand-crafts a SYN frame from `(src_ip, sport)` to B (10.0.0.2:`dport`),
+    /// as a flood source would: no stack, no state, just wire bytes.
+    fn raw_syn(src_ip: Ipv4Addr, sport: u16, dport: u16, ident: u16) -> EthernetFrame {
+        let dst_ip = Ipv4Addr::new(10, 0, 0, 2);
+        let seg = TcpSegment {
+            src_port: sport,
+            dst_port: dport,
+            seq: 1,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 65535,
+            mss: Some(1460),
+            wscale: Some(7),
+            payload: Bytes::new(),
+            checksum_ok: true,
+        };
+        let pkt = Ipv4Packet::new(
+            src_ip,
+            dst_ip,
+            IpProto::Tcp,
+            ident,
+            Bytes::from(seg.encode(src_ip, dst_ip, true)),
+        );
+        EthernetFrame::ipv4(
+            MacAddr::from_id(2),
+            MacAddr::from_id(1),
+            Bytes::from(pkt.encode()),
+        )
+    }
+
+    #[test]
+    fn syn_flood_bounded_backlog_drops_and_recovers() {
+        let (mut a, mut b, mut now) = mk_pair();
+        let ip_a = Ipv4Addr::new(10, 0, 0, 1);
+        let ip_b = Ipv4Addr::new(10, 0, 0, 2);
+        b.tcp_listen_with_backlog(80, 4, 64).unwrap();
+        // 20 SYNs from distinct source ports: the first 4 occupy the SYN
+        // backlog, the remaining 16 are dropped silently and counted.
+        for i in 0..20u16 {
+            b.on_frame(0, raw_syn(ip_a, 40_000 + i, 80, i), now);
+        }
+        assert_eq!(b.stats.syn_drops.get(), 16);
+        let half_open = b
+            .socket_states()
+            .iter()
+            .filter(|s| s.contains("SynRcvd"))
+            .count();
+        assert_eq!(half_open, 4, "embryonic connections bounded by backlog");
+        // The spoofed host never asked for these connections: its stack
+        // RSTs the SYN-ACKs, which clears the embryonic entries, and a
+        // legitimate connect then goes straight through.
+        settle(&mut a, &mut b, &mut now);
+        let cs = a.tcp_connect(ip_b, 80, now).unwrap();
+        settle(&mut a, &mut b, &mut now);
+        assert_eq!(a.tcp_state(cs), TcpState::Established);
+        assert_eq!(b.stats.syn_drops.get(), 16, "recovery causes no new drops");
+    }
+
+    #[test]
+    fn accept_queue_overflow_refuses_with_rst() {
+        let (mut a, mut b, mut now) = mk_pair();
+        let ip_b = Ipv4Addr::new(10, 0, 0, 2);
+        let lst = b.tcp_listen_with_backlog(80, 64, 1).unwrap();
+        let c1 = a.tcp_connect(ip_b, 80, now).unwrap();
+        settle(&mut a, &mut b, &mut now);
+        assert_eq!(a.tcp_state(c1), TcpState::Established);
+        // The app hasn't accepted c1 yet: the queue (len 1) is full, so the
+        // next connect is refused fast with RST rather than left hanging.
+        let c2 = a.tcp_connect(ip_b, 80, now).unwrap();
+        settle(&mut a, &mut b, &mut now);
+        assert_eq!(b.stats.accept_overflows.get(), 1);
+        assert_eq!(a.tcp_state(c2), TcpState::Closed);
+        assert_eq!(a.tcp_error(c2), Some(crate::tcp::TcpError::PeerReset));
+        // Accepting drains the queue; new connections flow again.
+        let s1 = b.tcp_accept(lst).expect("first connection queued");
+        assert_eq!(b.tcp_state(s1), TcpState::Established);
+        let c3 = a.tcp_connect(ip_b, 80, now).unwrap();
+        settle(&mut a, &mut b, &mut now);
+        assert_eq!(a.tcp_state(c3), TcpState::Established);
+    }
+
+    #[test]
+    fn churn_reuses_ports_and_reaps_slots() {
+        let (mut a, mut b, mut now) = mk_pair();
+        let ip_a = Ipv4Addr::new(10, 0, 0, 1);
+        let ip_b = Ipv4Addr::new(10, 0, 0, 2);
+        let lst = b.tcp_listen(80).unwrap();
+        const ROUNDS: u64 = 40;
+        for i in 0..ROUNDS {
+            // Pin the ephemeral allocator: every incarnation must get the
+            // *same* 4-tuple, which only works if the previous one's
+            // TIME_WAIT expired and freed the port.
+            a.next_port = 60_000;
+            let cs = a.tcp_connect(ip_b, 80, now).unwrap();
+            assert!(
+                a.conn_map.contains_key(&(ip_a, 60_000, ip_b, 80)),
+                "round {i}: port 60000 not reused"
+            );
+            settle(&mut a, &mut b, &mut now);
+            let ss = b.tcp_accept(lst).expect("connection queued");
+            a.tcp_send(cs, b"hello", now).unwrap();
+            settle(&mut a, &mut b, &mut now);
+            let mut buf = [0u8; 16];
+            assert_eq!(b.tcp_recv(ss, &mut buf, now).unwrap(), 5);
+            a.tcp_close(cs, now);
+            settle(&mut a, &mut b, &mut now);
+            assert!(b.tcp_at_eof(ss));
+            b.tcp_close(ss, now);
+            // Settle runs FIN exchange, TIME_WAIT expiry (timer) and reaping.
+            settle(&mut a, &mut b, &mut now);
+        }
+        // Every connection finished cleanly: all slots recycled, no leaks.
+        assert_eq!(a.stats.slots_reaped.get(), ROUNDS);
+        assert_eq!(b.stats.slots_reaped.get(), ROUNDS);
+        assert_eq!(a.stats.time_wait_reaped.get(), ROUNDS, "active closer waits out 2MSL");
+        assert_eq!(b.stats.time_wait_reaped.get(), 0, "passive closer skips TIME_WAIT");
+        assert!(a.conn_map.is_empty() && b.conn_map.is_empty());
+        assert_eq!(a.socket_states().len(), 0, "no live sockets left on A");
+        assert_eq!(b.socket_states().len(), 1, "only the listener survives on B");
+        // Stats survive the reaping: 5 payload bytes per round, accumulated
+        // in `dead_tcp` even though every slot was recycled.
+        assert_eq!(a.tcp_totals().bytes_sent, 5 * ROUNDS);
+        assert_eq!(b.tcp_totals().bytes_delivered, 5 * ROUNDS);
     }
 }

@@ -128,6 +128,26 @@ impl ProcCtx<'_> {
             .unwrap_or_else(|e| panic!("tcp_listen({port}): {e}"))
     }
 
+    /// `listen(2)` wrapper with explicit queue bounds: at most
+    /// `syn_backlog` half-open and `accept_backlog` accept-queued
+    /// connections; excess SYNs are dropped (counted) or refused with RST.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is already bound on this node (workload-wiring
+    /// bug, like [`tcp_listen`](Self::tcp_listen)).
+    pub fn tcp_listen_with_backlog(
+        &mut self,
+        port: u16,
+        syn_backlog: usize,
+        accept_backlog: usize,
+    ) -> SockId {
+        self.charge(self.cost.syscall());
+        self.stack
+            .tcp_listen_with_backlog(port, syn_backlog, accept_backlog)
+            .unwrap_or_else(|e| panic!("tcp_listen_with_backlog({port}): {e}"))
+    }
+
     /// `accept(2)` wrapper (non-blocking).
     pub fn tcp_accept(&mut self, listener: SockId) -> Option<SockId> {
         self.charge(self.cost.syscall());
@@ -172,6 +192,19 @@ impl ProcCtx<'_> {
     /// End of peer stream?
     pub fn tcp_at_eof(&self, sock: SockId) -> bool {
         self.stack.tcp_at_eof(sock)
+    }
+
+    /// True when the connection died abnormally (RTO give-up, keepalive
+    /// give-up, or peer reset) — the dead-peer signal serving loops act on.
+    pub fn tcp_failed(&self, sock: SockId) -> bool {
+        self.stack.tcp_failed(sock)
+    }
+
+    /// `close(2)`-and-forget for a connection the process is abandoning:
+    /// aborts if still open and releases the slot immediately.
+    pub fn tcp_drop(&mut self, sock: SockId) {
+        self.charge(self.cost.syscall());
+        self.stack.sock_drop(sock, self.now);
     }
 
     /// Sends an ICMP echo request; the reply arrives as a

@@ -1,0 +1,347 @@
+//! The open-loop client fleet.
+//!
+//! Each [`KvClient`] is one load generator: requests *arrive* on a seeded
+//! heavy-tailed schedule regardless of how the server is doing (open
+//! loop), so server slowdowns show up as queueing delay in the measured
+//! latency rather than as a politely reduced offered load. Keys are drawn
+//! from a heavy-tailed (quadratically skewed) distribution over the
+//! keyspace — a few hot keys, a long cold tail — all in integer
+//! arithmetic off a [`DetRng`] so runs are deterministic.
+//!
+//! The client survives rejection: a `B\n` (shed) response completes the
+//! request unsuccessfully, a refused or reset connection is retried after
+//! a fixed backoff, and a connection declared dead by keepalive is
+//! reported as a failure. With `linger` set it keeps its connection open
+//! after the budget is spent — the half-open-victim role in the
+//! `DimmCrash` chaos tests.
+
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mcn_net::SockId;
+use mcn_node::{Poll, ProcCtx, Process, Wake};
+use mcn_sim::{DetRng, SimTime};
+
+use crate::report::ServeReport;
+
+/// Client knobs.
+#[derive(Debug, Clone)]
+pub struct KvClientConfig {
+    /// Server address.
+    pub server: Ipv4Addr,
+    /// Server port.
+    pub port: u16,
+    /// Per-client RNG seed (give each fleet member its own).
+    pub seed: u64,
+    /// Total requests to issue.
+    pub n_requests: u64,
+    /// Mean inter-arrival gap (the tail stretches well past it).
+    pub mean_gap: SimTime,
+    /// Number of distinct keys.
+    pub keyspace: u32,
+    /// Percent of requests that are SETs (the rest are GETs).
+    pub set_pct: u32,
+    /// Value payload bytes for SETs.
+    pub val_len: u32,
+    /// Max requests outstanding before arrivals queue client-side.
+    pub pipeline: usize,
+    /// When to open the connection and start the clock.
+    pub start_at: SimTime,
+    /// Keep the connection open (idle) after the budget is spent instead
+    /// of closing — the half-open-victim role for crash tests.
+    pub linger: bool,
+    /// TCP keepalive `(idle, interval, probes)` installed on this node's
+    /// stack at first poll, or `None` to leave it alone.
+    pub keepalive: Option<(SimTime, SimTime, u32)>,
+    /// Backoff before reconnecting after a refused/reset connection.
+    pub reconnect_backoff: SimTime,
+}
+
+impl Default for KvClientConfig {
+    fn default() -> Self {
+        KvClientConfig {
+            server: Ipv4Addr::new(127, 0, 0, 1),
+            port: 11211,
+            seed: 1,
+            n_requests: 100,
+            mean_gap: SimTime::from_us(50),
+            keyspace: 4096,
+            set_pct: 10,
+            val_len: 512,
+            pipeline: 32,
+            start_at: SimTime::ZERO,
+            linger: false,
+            keepalive: None,
+            reconnect_backoff: SimTime::from_us(200),
+        }
+    }
+}
+
+/// Draws a heavy-tailed inter-arrival gap: most gaps sit below the mean,
+/// a seeded 1-in-8 minority stretches to several times it (integer-only —
+/// float transcendentals would invite cross-platform drift).
+fn heavy_tail_gap(rng: &mut DetRng, mean: SimTime) -> SimTime {
+    let base = SimTime::from_ps(mean.as_ps() / 2 + rng.next_below(mean.as_ps().max(2) / 2));
+    if rng.next_below(8) == 0 {
+        base + SimTime::from_ps(mean.as_ps() * rng.range(2, 8))
+    } else {
+        base
+    }
+}
+
+/// Draws a quadratically skewed key: key 0 is hottest, density falls off
+/// toward `keyspace - 1` (integer Zipf stand-in).
+fn skewed_key(rng: &mut DetRng, keyspace: u32) -> u32 {
+    let u = rng.next_below(1 << 16); // 16-bit uniform
+    let sq = (u * u) >> 16; // quadratic skew toward 0
+    ((sq * keyspace as u64) >> 16) as u32
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    /// Scheduled (open-loop) arrival time — latency is measured from here.
+    sched: SimTime,
+}
+
+/// The client process; see module docs.
+pub struct KvClient {
+    cfg: KvClientConfig,
+    report: Arc<Mutex<ServeReport>>,
+    rng: DetRng,
+    conn: Option<SockId>,
+    keepalive_set: bool,
+    /// Next scheduled arrival (the open-loop clock).
+    next_arrival: SimTime,
+    /// Earliest time a reconnect may be attempted.
+    reconnect_at: SimTime,
+    issued: u64,
+    completed: u64,
+    /// FIFO of unanswered requests (responses arrive in order per conn).
+    outstanding: VecDeque<Outstanding>,
+    rx: Vec<u8>,
+    tx: Vec<u8>,
+    finished: bool,
+}
+
+impl KvClient {
+    /// Creates a client; results go to the shared `report`.
+    pub fn new(cfg: KvClientConfig, report: Arc<Mutex<ServeReport>>) -> Self {
+        let rng = DetRng::new(cfg.seed);
+        let next_arrival = cfg.start_at;
+        KvClient {
+            cfg,
+            report,
+            rng,
+            conn: None,
+            keepalive_set: false,
+            next_arrival,
+            reconnect_at: SimTime::ZERO,
+            issued: 0,
+            completed: 0,
+            outstanding: VecDeque::new(),
+            rx: Vec::new(),
+            tx: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Requests completed (answered, including `B\n` rejections).
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    fn encode_request(&mut self) {
+        let key = skewed_key(&mut self.rng, self.cfg.keyspace);
+        if self.rng.next_below(100) < self.cfg.set_pct as u64 {
+            let len = self.cfg.val_len;
+            self.tx
+                .extend_from_slice(format!("S {key} {len}\n").as_bytes());
+            self.tx.resize(self.tx.len() + len as usize, 0x73);
+        } else {
+            self.tx.extend_from_slice(format!("G {key}\n").as_bytes());
+        }
+    }
+
+    /// Parses complete responses off `rx`, completing outstanding requests
+    /// in FIFO order. Returns the number parsed.
+    fn drain_responses(&mut self, now: SimTime) -> usize {
+        let mut consumed = 0;
+        let mut done = 0;
+        loop {
+            let buf = &self.rx[consumed..];
+            let Some(nl) = buf.iter().position(|&b| b == b'\n') else {
+                break;
+            };
+            let line = &buf[..nl];
+            let (ok, busy, body) = match line.first() {
+                Some(b'V') => {
+                    let len: usize = std::str::from_utf8(&line[2..])
+                        .ok()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(0);
+                    if buf.len() < nl + 1 + len {
+                        break; // value payload still in flight
+                    }
+                    (true, false, len)
+                }
+                Some(b'K') => (true, false, 0),
+                Some(b'M') => (false, false, 0),
+                Some(b'B') => (false, true, 0),
+                _ => (false, false, 0),
+            };
+            consumed += nl + 1 + body;
+            let Some(req) = self.outstanding.pop_front() else {
+                break; // response without a request: stale after reconnect
+            };
+            let mut rep = self.report.lock();
+            rep.record(now - req.sched, ok, body as u64);
+            if busy {
+                rep.busy += 1;
+            }
+            drop(rep);
+            self.completed += 1;
+            done += 1;
+        }
+        self.rx.drain(..consumed);
+        done
+    }
+
+    fn fail_conn(&mut self, ctx: &mut ProcCtx<'_>, sock: SockId) {
+        ctx.tcp_drop(sock);
+        self.conn = None;
+        let mut rep = self.report.lock();
+        rep.conn_failures += 1;
+        // Outstanding requests died with the connection; they are latency
+        // casualties, not data (their latency is unbounded — drop them).
+        drop(rep);
+        self.outstanding.clear();
+        self.tx.clear();
+        self.rx.clear();
+        self.reconnect_at = ctx.now + self.cfg.reconnect_backoff;
+    }
+}
+
+impl Process for KvClient {
+    fn poll(&mut self, ctx: &mut ProcCtx<'_>) -> Poll {
+        if self.finished {
+            return Poll::Done;
+        }
+        if !self.keepalive_set {
+            if let Some((idle, intvl, probes)) = self.cfg.keepalive {
+                ctx.stack.set_keepalive(idle, intvl, probes);
+            }
+            self.keepalive_set = true;
+        }
+        if ctx.now < self.cfg.start_at {
+            return Poll::Wait(vec![Wake::Timer(self.cfg.start_at)]);
+        }
+        if self.issued >= self.cfg.n_requests && self.outstanding.is_empty() && self.conn.is_none()
+        {
+            // Budget spent and no connection left to linger on.
+            self.report.lock().completed_clients += 1;
+            self.finished = true;
+            return Poll::Done;
+        }
+
+        // Connection management.
+        let sock = match self.conn {
+            Some(s) if ctx.tcp_failed(s) => {
+                self.fail_conn(ctx, s);
+                if self.issued >= self.cfg.n_requests {
+                    // Budget spent and the connection is gone: nothing left
+                    // to do, lingering or not.
+                    self.report.lock().completed_clients += 1;
+                    self.finished = true;
+                    return Poll::Done;
+                }
+                return Poll::Wait(vec![Wake::Timer(self.reconnect_at)]);
+            }
+            Some(s) => s,
+            None => {
+                if ctx.now < self.reconnect_at {
+                    return Poll::Wait(vec![Wake::Timer(self.reconnect_at)]);
+                }
+                match ctx.tcp_connect(self.cfg.server, self.cfg.port) {
+                    Some(s) => {
+                        self.conn = Some(s);
+                        s
+                    }
+                    None => {
+                        self.reconnect_at = ctx.now + self.cfg.reconnect_backoff;
+                        return Poll::Wait(vec![Wake::Timer(self.reconnect_at)]);
+                    }
+                }
+            }
+        };
+
+        // Open-loop arrivals: issue everything that is due, bounded only
+        // by the pipeline cap (arrivals beyond it wait client-side and
+        // their queueing counts into latency via `sched`).
+        while self.issued < self.cfg.n_requests
+            && self.next_arrival <= ctx.now
+            && self.outstanding.len() < self.cfg.pipeline
+        {
+            self.encode_request();
+            self.outstanding.push_back(Outstanding {
+                sched: self.next_arrival,
+            });
+            self.issued += 1;
+            self.next_arrival += heavy_tail_gap(&mut self.rng, self.cfg.mean_gap);
+        }
+
+        // Move bytes.
+        if !self.tx.is_empty() {
+            let tx = std::mem::take(&mut self.tx);
+            let sent = ctx.tcp_send(sock, &tx);
+            self.tx = tx[sent..].to_vec();
+        }
+        let mut buf = [0u8; 16384];
+        while ctx.stack.tcp_readable(sock) > 0 {
+            let n = ctx.tcp_recv(sock, &mut buf);
+            if n == 0 {
+                break;
+            }
+            self.rx.extend_from_slice(&buf[..n]);
+        }
+        self.drain_responses(ctx.now);
+
+        // Completion.
+        if self.issued >= self.cfg.n_requests && self.outstanding.is_empty() {
+            if self.cfg.linger {
+                // Keep the (idle) connection open and watch it: if the
+                // server vanishes, keepalive declares it dead and the
+                // failure arm above records the reap.
+                if ctx.tcp_at_eof(sock) {
+                    ctx.tcp_close(sock);
+                    self.report.lock().completed_clients += 1;
+                    self.finished = true;
+                    return Poll::Done;
+                }
+                return Poll::Wait(vec![Wake::Sock(sock)]);
+            }
+            ctx.tcp_close(sock);
+            self.report.lock().completed_clients += 1;
+            self.finished = true;
+            return Poll::Done;
+        }
+        if ctx.tcp_at_eof(sock) {
+            // Server closed on us (idle timeout) with work still to do:
+            // treat as a failed connection and retry.
+            self.fail_conn(ctx, sock);
+            return Poll::Wait(vec![Wake::Timer(self.reconnect_at)]);
+        }
+
+        let mut wakes = vec![Wake::Sock(sock)];
+        if self.issued < self.cfg.n_requests && self.outstanding.len() < self.cfg.pipeline {
+            wakes.push(Wake::Timer(self.next_arrival.max(ctx.now)));
+        }
+        Poll::Wait(wakes)
+    }
+
+    fn name(&self) -> &str {
+        "kv-client"
+    }
+}

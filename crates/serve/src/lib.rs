@@ -1,0 +1,71 @@
+//! # mcn-serve — an overload-resilient KV serving tier on MCN DIMMs
+//!
+//! The paper's pitch is that MCN turns DIMMs into near-memory *servers*
+//! reachable over standard TCP/IP. A server that melts under connection
+//! floods proves nothing about "heavy traffic from millions of users", so
+//! this crate pairs a memcached-style KV service running on DIMM
+//! processes ([`KvServer`]) with a seeded open-loop client fleet
+//! ([`KvClient`]) and measures how gracefully the pair degrades:
+//!
+//! * **Admission control in layers** — SYN-backlog drop and accept-queue
+//!   RST in the stack (`tcp.syn_drops` / `tcp.accept_overflows`),
+//!   connection budget at accept (`shed_conns`), in-flight request budget
+//!   before memory bandwidth is spent (`shed_requests`, answered `B\n`).
+//! * **Connection lifecycle hygiene** — TCP keepalive reaps half-open
+//!   peers left by crashed DIMMs, TIME_WAIT expiry recycles ports and
+//!   socket slots, app-level idle timeouts collect loiterers.
+//! * **Honest load** — open-loop heavy-tailed arrivals and skewed keys:
+//!   a slow server accumulates queueing delay in the measured latency
+//!   instead of quietly throttling the offered load.
+//!
+//! Everything is deterministic: same seed, same byte-identical
+//! full-registry snapshot at any `run_parallel` thread count. Results
+//! aggregate into a shared [`ServeReport`] whose fields are all
+//! commutative, so fleet-wide accounting stays order-insensitive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod kv;
+pub mod report;
+
+pub use client::{KvClient, KvClientConfig};
+pub use kv::{parse_request, KvServer, KvServerConfig, Request};
+pub use report::ServeReport;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_parser_round_trips() {
+        assert_eq!(parse_request(b"G 42\n"), Some((Request::Get { key: 42 }, 5)));
+        assert_eq!(parse_request(b"G 42"), None, "incomplete line");
+        let mut set = b"S 7 3\nabc".to_vec();
+        assert_eq!(
+            parse_request(&set),
+            Some((Request::Set { key: 7, len: 3 }, 9))
+        );
+        set.truncate(8);
+        assert_eq!(parse_request(&set), None, "payload still in flight");
+        assert_eq!(parse_request(b"X 1\n"), None, "unknown verb");
+    }
+
+    #[test]
+    fn report_goodput_counts_only_under_slo() {
+        use mcn_sim::SimTime;
+        let rep = ServeReport::shared(SimTime::from_us(100));
+        {
+            let mut r = rep.lock();
+            r.record(SimTime::from_us(50), true, 64); // under SLO
+            r.record(SimTime::from_us(500), true, 64); // over SLO
+            r.record(SimTime::from_us(10), false, 0); // miss
+        }
+        let r = rep.lock();
+        assert_eq!(r.ok, 2);
+        assert_eq!(r.under_slo, 1);
+        assert_eq!(r.latency.count(), 3);
+        assert!((r.goodput_rps(SimTime::from_secs(1)) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,111 @@
+//! Shared measurement cell for a serving run.
+//!
+//! One [`ServeReport`] is shared by the KV server and its whole client
+//! fleet. Because the processes writing it may live on different shards of
+//! the parallel engine, *everything in it is commutative*: counters and
+//! histogram bucket increments produce the same final state in any write
+//! order, so the full-registry snapshot taken after the run is
+//! byte-identical across thread counts. Order-sensitive gauges (e.g.
+//! [`RateMeter`]'s first/last timestamps) are deliberately absent — derive
+//! rates from byte counters and the fixed run window instead.
+//!
+//! [`RateMeter`]: mcn_sim::stats::RateMeter
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mcn_sim::metrics::{Instrumented, MetricSink};
+use mcn_sim::stats::Histogram;
+use mcn_sim::SimTime;
+
+/// Aggregated serving-run measurements (see module docs for the
+/// commutativity contract).
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Request latency, scheduled arrival → response parsed (open-loop:
+    /// client-side queueing counts against the server).
+    pub latency: Histogram,
+    /// Latency SLO used for [`under_slo`](Self::under_slo) accounting.
+    pub slo: SimTime,
+    /// Requests answered successfully (`VALUE`/`STORED`).
+    pub ok: u64,
+    /// Requests answered under the SLO (goodput numerator).
+    pub under_slo: u64,
+    /// Payload bytes in successful responses.
+    pub ok_bytes: u64,
+    /// GETs that missed.
+    pub miss: u64,
+    /// Requests rejected with `BUSY` by admission control (server-side
+    /// `shed_requests` mirrors this from the client's perspective).
+    pub busy: u64,
+    /// Requests the server shed at admission (in-flight budget exceeded).
+    pub shed_requests: u64,
+    /// Connections the server refused at accept time (connection budget).
+    pub shed_conns: u64,
+    /// Client connections that died abnormally (RST, RTO or keepalive
+    /// give-up) — the chaos casualties.
+    pub conn_failures: u64,
+    /// Clients that finished their request budget.
+    pub completed_clients: u64,
+}
+
+impl ServeReport {
+    /// A fresh shared cell with the given latency SLO.
+    pub fn shared(slo: SimTime) -> Arc<Mutex<ServeReport>> {
+        Arc::new(Mutex::new(ServeReport {
+            latency: Histogram::new(),
+            slo,
+            ok: 0,
+            under_slo: 0,
+            ok_bytes: 0,
+            miss: 0,
+            busy: 0,
+            shed_requests: 0,
+            shed_conns: 0,
+            conn_failures: 0,
+            completed_clients: 0,
+        }))
+    }
+
+    /// Records one completed request: latency from its scheduled arrival,
+    /// whether it succeeded, and the response payload size.
+    pub fn record(&mut self, latency: SimTime, ok: bool, bytes: u64) {
+        self.latency.record(latency);
+        if ok {
+            self.ok += 1;
+            self.ok_bytes += bytes;
+            if latency <= self.slo {
+                self.under_slo += 1;
+            }
+        }
+    }
+
+    /// Goodput under SLO over a window of `elapsed`: successful-response
+    /// requests meeting the SLO, per second.
+    pub fn goodput_rps(&self, elapsed: SimTime) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.under_slo as f64 / secs
+        }
+    }
+}
+
+impl Instrumented for ServeReport {
+    /// Request counters plus the latency histogram (whose expansion carries
+    /// `p50_ps`/`p99_ps`/`p999_ps`).
+    fn metrics(&self, out: &mut MetricSink) {
+        out.histogram("latency", &self.latency);
+        out.counter("ok", self.ok);
+        out.counter("under_slo", self.under_slo);
+        out.counter("ok_bytes", self.ok_bytes);
+        out.counter("miss", self.miss);
+        out.counter("busy", self.busy);
+        out.counter("shed_requests", self.shed_requests);
+        out.counter("shed_conns", self.shed_conns);
+        out.counter("conn_failures", self.conn_failures);
+        out.counter("completed_clients", self.completed_clients);
+    }
+}

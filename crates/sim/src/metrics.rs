@@ -174,15 +174,18 @@ impl MetricSink {
     }
 
     /// Records a [`Histogram`] as its deterministic summary:
-    /// `name.count`, `name.min_ps`, `name.mean_ps`, `name.p99_ps`,
-    /// `name.max_ps` (the time points are 0 when the histogram is empty).
+    /// `name.count`, `name.min_ps`, `name.mean_ps`, `name.p50_ps`,
+    /// `name.p99_ps`, `name.p999_ps`, `name.max_ps` (the time points are 0
+    /// when the histogram is empty).
     pub fn histogram(&mut self, name: &str, h: &Histogram) {
         let ps = |t: Option<SimTime>| t.map_or(0, |t| t.as_ps());
         self.scoped(name, |out| {
             out.counter("count", h.count());
             out.counter("min_ps", ps(h.min()));
             out.counter("mean_ps", ps(h.mean()));
+            out.counter("p50_ps", ps(h.percentile(50.0)));
             out.counter("p99_ps", ps(h.percentile(99.0)));
+            out.counter("p999_ps", ps(h.percentile(99.9)));
             out.counter("max_ps", ps(h.max()));
         });
     }

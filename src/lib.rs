@@ -6,4 +6,5 @@ pub use mcn_energy as energy;
 pub use mcn_mpi as mpi;
 pub use mcn_net as net;
 pub use mcn_node as node;
+pub use mcn_serve as serve;
 pub use mcn_sim as sim;

@@ -1,0 +1,435 @@
+//! Overload-resilience of the serving tier (ISSUE 6 acceptance tests).
+//!
+//! The paper sells MCN DIMMs as *servers* for "heavy traffic from
+//! millions of users"; a server that melts under a connection flood or
+//! leaks a socket slot per churned connection proves nothing. These
+//! tests put the KV-on-DIMM serving tier ([`KvServer`] / [`KvClient`])
+//! and the stack's admission machinery under deliberate abuse:
+//!
+//! * a SYN flood against a bounded listener — drops are *counted*
+//!   (`tcp.syn_drops`), the listener keeps serving, nothing panics,
+//! * connection churn — TIME_WAIT quarantine expires, socket slots and
+//!   ports are recycled (`tcp.time_wait_reaped` / `tcp.slots_reaped`),
+//!   the socket table returns to its baseline size,
+//! * overload — requests beyond the in-flight budget are shed with
+//!   `B\n` instead of queueing without bound, connections beyond the
+//!   accept budget are refused fast, and the fleet still finishes,
+//! * a [`DimmCrash`](OutageKind::DimmCrash) that never heals — the
+//!   half-open connections it leaves behind are reaped by TCP
+//!   keepalive (`tcp.keepalive_giveups`), not leaked,
+//! * the full chaos mix under `run_parallel` — byte-identical
+//!   full-registry snapshots at 1 and 2 threads, including the shared
+//!   [`ServeReport`] (whose fields are all commutative by contract).
+
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use mcn::{
+    ComponentExt, McnConfig, McnRack, McnSystem, MetricSink, MetricsSnapshot, SystemConfig,
+};
+use mcn_net::tcp::{TcpConfig, TcpState};
+use mcn_net::{
+    EthernetFrame, IpProto, Ipv4Packet, MacAddr, NetConfig, NetStack, TcpFlags, TcpSegment,
+};
+use mcn_serve::{KvClient, KvClientConfig, KvServer, KvServerConfig, ServeReport};
+use mcn_sim::{OutageKind, OutagePlan, SimTime};
+use parking_lot::Mutex;
+
+// ---------------------------------------------------------------------------
+// Stack-level harness (public API only): two nodes on one zero-latency wire.
+
+const IP_A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const IP_B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+fn stack_pair() -> (NetStack, NetStack) {
+    let mut a = NetStack::new(TcpConfig::default());
+    let mut b = NetStack::new(TcpConfig::default());
+    a.add_interface(NetConfig::ethernet(MacAddr::from_id(1), IP_A));
+    b.add_interface(NetConfig::ethernet(MacAddr::from_id(2), IP_B));
+    let mask = Ipv4Addr::new(255, 255, 255, 0);
+    a.add_route(IP_B, mask, 0, None);
+    b.add_route(IP_A, mask, 0, None);
+    a.add_neighbor(IP_B, MacAddr::from_id(2));
+    b.add_neighbor(IP_A, MacAddr::from_id(1));
+    (a, b)
+}
+
+/// Moves all queued frames both ways; returns true if anything moved.
+fn shuttle(a: &mut NetStack, b: &mut NetStack, now: SimTime) -> bool {
+    let mut moved = false;
+    while let Some(f) = a.poll_output(0) {
+        b.on_frame(0, f, now);
+        moved = true;
+    }
+    while let Some(f) = b.poll_output(0) {
+        a.on_frame(0, f, now);
+        moved = true;
+    }
+    moved
+}
+
+/// Shuttles until quiescent, advancing to the next stack timer when the
+/// wire goes idle (so TIME_WAIT / keepalive / rto clocks actually run).
+fn settle(a: &mut NetStack, b: &mut NetStack, now: &mut SimTime) {
+    for _ in 0..5000 {
+        if !shuttle(a, b, *now) {
+            let t = [a.next_timer(), b.next_timer()].into_iter().flatten().min();
+            match t {
+                Some(t) => {
+                    *now = (*now).max(t);
+                    a.on_timer(*now);
+                    b.on_timer(*now);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Crafts a bare SYN as it would arrive off the wire — the attacker's
+/// packet, not a socket: nothing on the sending side remembers it.
+fn spoofed_syn(sport: u16, dport: u16, ident: u16) -> EthernetFrame {
+    let seg = TcpSegment {
+        src_port: sport,
+        dst_port: dport,
+        seq: 1,
+        ack: 0,
+        flags: TcpFlags::SYN,
+        window: 65535,
+        mss: Some(1460),
+        wscale: Some(7),
+        payload: Bytes::new(),
+        checksum_ok: true,
+    };
+    let pkt = Ipv4Packet::new(
+        IP_A,
+        IP_B,
+        IpProto::Tcp,
+        ident,
+        Bytes::from(seg.encode(IP_A, IP_B, true)),
+    );
+    EthernetFrame::ipv4(
+        MacAddr::from_id(2), // dst: the victim
+        MacAddr::from_id(1),
+        Bytes::from(pkt.encode()),
+    )
+}
+
+#[test]
+fn syn_flood_leaves_listener_serving_within_backlog_bounds() {
+    let (mut a, mut b) = stack_pair();
+    let mut now = SimTime::ZERO;
+    let lst = b.tcp_listen_with_backlog(80, 4, 64).unwrap();
+
+    // 24 spoofed SYNs from distinct source ports: 4 fill the SYN backlog,
+    // the remaining 20 are dropped silently — counted, never panicking,
+    // and never allocating state (classic SYN-flood posture).
+    for i in 0..24u16 {
+        b.on_frame(0, spoofed_syn(41_000 + i, 80, i), now);
+    }
+    assert_eq!(b.stats.syn_drops.get(), 20);
+
+    // The counter is wired through the metrics registry under the path
+    // the bench/CI tooling reads.
+    let mut sink = MetricSink::new();
+    sink.absorb("victim", &b);
+    let snap = sink.finish();
+    assert_eq!(snap.get_u64("victim.tcp.syn_drops"), 20);
+
+    // Let the flood resolve: the SYN-ACKs go to a host that never opened
+    // those connections, so it RSTs them and the embryonic entries die.
+    settle(&mut a, &mut b, &mut now);
+
+    // The listener must still serve a legitimate client afterwards. The
+    // four embryonic connections the flood left in the accept queue died
+    // to the spoofed host's RSTs; `tcp_accept` must prune those corpses
+    // (reclaiming their slots) and hand out the real connection.
+    let cs = a.tcp_connect(IP_B, 80, now).unwrap();
+    settle(&mut a, &mut b, &mut now);
+    assert_eq!(a.tcp_state(cs), TcpState::Established);
+    let ss = b.tcp_accept(lst).expect("listener accepts after the flood");
+    assert_eq!(b.tcp_state(ss), TcpState::Established);
+    assert_eq!(b.stats.accept_prunes.get(), 4, "flood corpses pruned at accept");
+    a.tcp_send(cs, b"still serving", now).unwrap();
+    settle(&mut a, &mut b, &mut now);
+    let mut buf = [0u8; 64];
+    let n = b.tcp_recv(ss, &mut buf, now).unwrap();
+    assert_eq!(&buf[..n], b"still serving");
+    assert_eq!(b.stats.syn_drops.get(), 20, "no drops after the flood ended");
+    assert_eq!(
+        b.socket_states().len(),
+        2,
+        "victim holds exactly the listener and the served connection"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// KV-on-DIMM harness.
+
+/// One MCN system with a [`KvServer`] on DIMM 0 and the given client
+/// fleet on the host, all reporting into `report`.
+fn kv_system(
+    server_cfg: KvServerConfig,
+    clients: Vec<KvClientConfig>,
+    report: &Arc<Mutex<ServeReport>>,
+) -> McnSystem {
+    let mut sys = McnSystem::new(&SystemConfig::default(), 1, McnConfig::level(3));
+    sys.spawn_dimm(0, Box::new(KvServer::new(server_cfg, report.clone())), 0);
+    for (i, cfg) in clients.into_iter().enumerate() {
+        sys.spawn_host(Box::new(KvClient::new(cfg, report.clone())), i % 2);
+    }
+    sys
+}
+
+#[test]
+fn kv_churn_reaps_time_wait_and_recycles_slots() {
+    let report = ServeReport::shared(SimTime::from_us(500));
+    let mut sys = McnSystem::new(&SystemConfig::default(), 1, McnConfig::level(3));
+    let dimm = sys.dimm_ip(0);
+    sys.spawn_dimm(
+        0,
+        Box::new(KvServer::new(KvServerConfig::default(), report.clone())),
+        0,
+    );
+    // Staggered short-lived clients: connect, a handful of requests,
+    // close — the churny end of a memcached front line. Each close walks
+    // the full active-close lifecycle on the host (FIN → TIME_WAIT →
+    // 2MSL expiry) and the passive close on the DIMM.
+    const CLIENTS: u64 = 12;
+    for i in 0..CLIENTS {
+        sys.spawn_host(
+            Box::new(KvClient::new(
+                KvClientConfig {
+                    server: dimm,
+                    seed: 0x1000 + i,
+                    n_requests: 8,
+                    mean_gap: SimTime::from_us(10),
+                    set_pct: 25,
+                    start_at: SimTime::from_us(300 * i),
+                    ..KvClientConfig::default()
+                },
+                report.clone(),
+            )),
+            (i % 2) as usize,
+        );
+    }
+    sys.run_until(SimTime::from_ms(25));
+
+    let rep = report.lock();
+    assert_eq!(rep.completed_clients, CLIENTS);
+    assert_eq!(rep.conn_failures, 0);
+    assert!(rep.ok > 0, "some GET/SET traffic must have succeeded");
+    assert_eq!(rep.latency.count(), rep.ok + rep.miss);
+    drop(rep);
+
+    // Lifecycle hygiene: every churned connection's slot was recycled on
+    // both ends — TIME_WAIT expiry on the active closer (host), clean
+    // LAST_ACK close on the passive closer (DIMM) — and the socket
+    // tables are back to baseline (empty host, listener-only DIMM).
+    let snap = MetricsSnapshot::collect(&sys);
+    assert_eq!(snap.get_u64("host.stack.tcp.time_wait_reaped"), CLIENTS);
+    assert_eq!(snap.get_u64("host.stack.tcp.slots_reaped"), CLIENTS);
+    assert_eq!(snap.get_u64("dimm0.stack.tcp.slots_reaped"), CLIENTS);
+    assert_eq!(snap.get_u64("dimm0.stack.tcp.time_wait_reaped"), 0);
+    assert!(sys.host.stack.socket_states().is_empty(), "host leaked sockets");
+    assert_eq!(
+        sys.dimm_mut(0).node.stack.socket_states().len(),
+        1,
+        "DIMM should hold exactly the listener"
+    );
+}
+
+#[test]
+fn overload_sheds_requests_and_connections_instead_of_collapsing() {
+    // A deliberately tiny server (2 connections, 2 requests in flight)
+    // against 6 aggressive pipelining clients. Layered admission control
+    // must shed — `B\n` for excess requests, RST/drop for excess
+    // connections — and the fleet must still run to completion.
+    let report = ServeReport::shared(SimTime::from_us(500));
+    let server = KvServerConfig {
+        syn_backlog: 64,
+        accept_backlog: 2,
+        max_conns: 2,
+        inflight_budget: 2,
+        ..KvServerConfig::default()
+    };
+    let clients = (0..6)
+        .map(|i| KvClientConfig {
+            server: Ipv4Addr::UNSPECIFIED, // patched below
+            seed: 0x51 + i,
+            n_requests: 40,
+            mean_gap: SimTime::from_us(2),
+            pipeline: 16,
+            val_len: 1024,
+            set_pct: 25,
+            reconnect_backoff: SimTime::from_us(50),
+            ..KvClientConfig::default()
+        })
+        .collect::<Vec<_>>();
+    let mut sys = kv_system(server, Vec::new(), &report);
+    let dimm = sys.dimm_ip(0);
+    for (i, mut cfg) in clients.into_iter().enumerate() {
+        cfg.server = dimm;
+        sys.spawn_host(Box::new(KvClient::new(cfg, report.clone())), i % 2);
+    }
+    sys.run_until(SimTime::from_ms(60));
+
+    let snap = MetricsSnapshot::collect(&sys);
+    let rep = report.lock();
+    assert_eq!(rep.completed_clients, 6, "overloaded fleet must still finish");
+    assert!(rep.ok > 0, "the server must serve *something* while shedding");
+    assert!(rep.busy > 0, "clients must observe B\\n rejections");
+    assert!(
+        rep.shed_requests >= rep.busy,
+        "server-side shed count covers every observed rejection"
+    );
+    assert!(
+        rep.shed_conns + snap.get_u64("dimm0.stack.tcp.accept_overflows") > 0,
+        "connection-level admission control must have fired"
+    );
+}
+
+#[test]
+fn dimm_crash_half_open_connections_are_reaped_by_keepalive() {
+    // Two clients finish their budgets and linger on idle connections;
+    // then the DIMM crashes and never comes back. Nothing will ever send
+    // a FIN or RST for those connections — only keepalive can tell the
+    // hosts their peer is gone. Without it, the sockets leak forever.
+    let report = ServeReport::shared(SimTime::from_us(500));
+    let clients = (0..2)
+        .map(|i| KvClientConfig {
+            server: Ipv4Addr::UNSPECIFIED, // patched below
+            seed: 7 + i,
+            n_requests: 5,
+            mean_gap: SimTime::from_us(10),
+            linger: true,
+            keepalive: Some((SimTime::from_ms(2), SimTime::from_us(500), 3)),
+            ..KvClientConfig::default()
+        })
+        .collect::<Vec<_>>();
+    let mut sys = kv_system(KvServerConfig::default(), Vec::new(), &report);
+    let dimm = sys.dimm_ip(0);
+    for (i, mut cfg) in clients.into_iter().enumerate() {
+        cfg.server = dimm;
+        sys.spawn_host(Box::new(KvClient::new(cfg, report.clone())), i % 2);
+    }
+    let mut plan = OutagePlan::new(0xDEAD);
+    plan.at(
+        &McnSystem::dimm_outage_component(0, 0),
+        SimTime::from_ms(2),
+        OutageKind::DimmCrash {
+            down_for: SimTime::from_secs(5), // never returns within the run
+        },
+    );
+    sys.set_outage_plan(&plan);
+    sys.run_until(SimTime::from_ms(30));
+
+    let snap = MetricsSnapshot::collect(&sys);
+    assert_eq!(
+        snap.get_u64("host.stack.tcp.keepalive_giveups"),
+        2,
+        "both half-open connections must be declared dead"
+    );
+    assert!(
+        snap.get_u64("host.stack.tcp.keepalive_probes_out") >= 6,
+        "each connection gets its full probe budget before giving up"
+    );
+    let rep = report.lock();
+    assert_eq!(rep.conn_failures, 2, "both clients must report the reap");
+    assert_eq!(rep.completed_clients, 2, "lingering clients still terminate");
+    assert!(
+        sys.host.stack.socket_states().is_empty(),
+        "reaped connections must not leak host socket slots"
+    );
+}
+
+#[test]
+fn chaos_mix_serving_is_thread_count_invariant() {
+    // The full serving tier — 2 servers x 2 DIMMs, a KV server per DIMM,
+    // a client fleet per host — with a DIMM crash-and-reboot and a ToR
+    // switch partition landing mid-traffic. The determinism contract:
+    // same seed, same final clock and byte-identical full-registry
+    // snapshot (including the shared ServeReport, whose fields are all
+    // commutative) at any run_parallel thread count.
+    let mut plan = OutagePlan::new(0xC0DE);
+    plan.at(
+        &McnRack::dimm_outage_component(1, 0),
+        SimTime::from_us(800),
+        OutageKind::DimmCrash {
+            down_for: SimTime::from_ms(5),
+        },
+    );
+    plan.at(
+        McnRack::SWITCH_OUTAGE_COMPONENT,
+        SimTime::from_ms(1),
+        OutageKind::SwitchPartition {
+            groups: vec![vec![0], vec![1]],
+            heal_at: SimTime::from_ms(3),
+        },
+    );
+
+    let run = |threads: usize| {
+        let report = ServeReport::shared(SimTime::from_us(500));
+        let mut rack = McnRack::new(&SystemConfig::default(), 2, 2, McnConfig::level(3));
+        for s in 0..2 {
+            for d in 0..2 {
+                rack.spawn_dimm(
+                    s,
+                    d,
+                    Box::new(KvServer::new(KvServerConfig::default(), report.clone())),
+                    0,
+                );
+            }
+        }
+        for s in 0..2 {
+            for d in 0..2 {
+                let ip = rack.server(s).dimm_ip(d);
+                rack.spawn_host(
+                    s,
+                    Box::new(KvClient::new(
+                        KvClientConfig {
+                            server: ip,
+                            seed: 0xA0 + (s * 2 + d) as u64,
+                            n_requests: 30,
+                            mean_gap: SimTime::from_us(20),
+                            set_pct: 20,
+                            keepalive: Some((SimTime::from_ms(2), SimTime::from_us(500), 3)),
+                            ..KvClientConfig::default()
+                        },
+                        report.clone(),
+                    )),
+                    d,
+                );
+            }
+        }
+        rack.set_outage_plan(&plan);
+        // KvServer is a daemon — it never reports Done — so the run ends
+        // at the deadline (or earlier quiescence), and `run_parallel`'s
+        // all-procs-done flag is deliberately not asserted here.
+        rack.run_parallel(SimTime::from_ms(200), threads);
+        let mut sink = MetricSink::new();
+        sink.absorb("root", &rack);
+        sink.absorb("serve", &*report.lock());
+        let rep = report.lock();
+        (rack.now(), sink.finish().to_json(), rep.ok, rep.completed_clients)
+    };
+
+    let serial = run(1);
+    let threaded = run(2);
+    assert_eq!(
+        (&serial.0, &serial.1),
+        (&threaded.0, &threaded.1),
+        "2-thread chaos serving run diverged from serial"
+    );
+    // The comparison only means something if the chaos and the serving
+    // actually happened.
+    assert!(serial.1.contains("\"root.rack.partitions\": 1"));
+    assert!(serial.1.contains("crashes\": 1"));
+    assert!(serial.2 > 0, "KV traffic must have been served");
+    // All four clients terminate: three serve their full budget, and the
+    // one whose DIMM crashed fails *cleanly* — keepalive declares the
+    // half-open connection dead instead of letting the client hang.
+    assert_eq!(serial.3, 4, "every client must finish despite the chaos");
+    assert!(serial.1.contains("\"root.srv1.host.stack.tcp.keepalive_giveups\": 1"));
+}
