@@ -52,6 +52,9 @@ struct NodeBlock {
     clock: SimTime,
     /// Event-loop accounting for this block.
     stats: EngineStats,
+    /// Recycled buffers for the per-tick NIC/link drains.
+    nic_events: Vec<NicEvent>,
+    frame_scratch: Vec<EthernetFrame>,
 }
 
 impl NodeBlock {
@@ -69,8 +72,11 @@ impl NodeBlock {
                 .on_job_done(job, t, &mut self.cn.node.cpus, &self.cn.node.cost, false);
             changed = true;
         }
-        // NIC pipeline events.
-        for ev in self.cn.nic.advance(t, &mut self.cn.node.mem) {
+        // NIC pipeline events (drained through the block's recycled
+        // buffer: this loop runs every fixed-point round).
+        let mut evs = std::mem::take(&mut self.nic_events);
+        self.cn.nic.advance_into(t, &mut self.cn.node.mem, &mut evs);
+        for ev in evs.drain(..) {
             changed = true;
             match ev {
                 NicEvent::TxWire(frame) => self.up.send(frame, t),
@@ -80,17 +86,22 @@ impl NodeBlock {
                 }
             }
         }
+        self.nic_events = evs;
         // Frames reaching the switch leave the shard; the coordinator
         // routes them at the next barrier.
-        for frame in self.up.poll(t) {
+        let mut frames = std::mem::take(&mut self.frame_scratch);
+        self.up.poll_into(t, &mut frames);
+        for frame in frames.drain(..) {
             changed = true;
             outbox.emit(t, frame);
         }
         // Frames arriving from the switch.
-        for frame in self.down.poll(t) {
+        self.down.poll_into(t, &mut frames);
+        for frame in frames.drain(..) {
             changed = true;
             self.cn.nic.wire_rx(frame, t, &mut self.cn.node.mem);
         }
+        self.frame_scratch = frames;
         // Stack timers, processes, outbound frames.
         self.cn.node.service_stack(t);
         if self.cn.node.run_procs(t) {
@@ -126,6 +137,26 @@ impl Shard for NodeBlock {
         .flatten()
         .min()
         .map(|t| t.max(self.clock))
+    }
+
+    fn next_emission(&mut self) -> Option<SimTime> {
+        // Same bound as the rack's server block: in-flight uplink frames
+        // as-is, staged NIC TX plus uplink propagation, anything else
+        // pays PCIe plus the uplink from its first local event.
+        let up_lat = self.up.latency();
+        let pcie = self.cn.nic.pcie_latency();
+        [
+            self.up.next_arrival(),
+            self.cn.nic.earliest_tx_staged().map(|t| t + up_lat),
+            Shard::next_event(self).map(|t| t + pcie + up_lat),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    fn turnaround(&self) -> SimTime {
+        self.down.latency() + self.cn.nic.pcie_latency() + self.up.latency()
     }
 
     fn apply(&mut self, _at: SimTime, cmd: NoCmd) {
@@ -269,6 +300,8 @@ impl EthernetCluster {
                     down: mk_link(),
                     clock: SimTime::ZERO,
                     stats: EngineStats::default(),
+                    nic_events: Vec::new(),
+                    frame_scratch: Vec::new(),
                 })
                 .collect(),
             sched: ParallelEngine::new(quantum),

@@ -118,6 +118,9 @@ struct ServerBlock {
     stats: EngineStats,
     /// Frames this block dropped on its own severed uplink.
     uplink_drops: Counter,
+    /// Recycled buffers for the per-tick NIC/link drains.
+    nic_events: Vec<NicEvent>,
+    frame_scratch: Vec<EthernetFrame>,
 }
 
 /// Who owns `ip` under the rack address plan?
@@ -169,8 +172,11 @@ impl ServerBlock {
             self.nic
                 .xmit(frame, t, core, &mut self.sys.host.cpus, &self.sys.host.cost);
         }
-        // NIC pipeline.
-        for ev in self.nic.advance(t, &mut self.sys.host.mem) {
+        // NIC pipeline (events drain through the block's recycled
+        // buffer: this loop runs every fixed-point round).
+        let mut evs = std::mem::take(&mut self.nic_events);
+        self.nic.advance_into(t, &mut self.sys.host.mem, &mut evs);
+        for ev in evs.drain(..) {
             changed = true;
             match ev {
                 NicEvent::TxWire(frame) => {
@@ -187,9 +193,12 @@ impl ServerBlock {
                 }
             }
         }
+        self.nic_events = evs;
         // Frames reaching the switch leave the shard; the coordinator
         // routes them at the next barrier.
-        for frame in self.up.poll(t) {
+        let mut frames = std::mem::take(&mut self.frame_scratch);
+        self.up.poll_into(t, &mut frames);
+        for frame in frames.drain(..) {
             changed = true;
             if !self.link_up {
                 // In flight when the link was cut: lost.
@@ -198,7 +207,8 @@ impl ServerBlock {
             }
             outbox.emit(t, frame);
         }
-        for frame in self.down.poll(t) {
+        self.down.poll_into(t, &mut frames);
+        for frame in frames.drain(..) {
             changed = true;
             if !self.link_up {
                 self.uplink_drops.inc();
@@ -206,6 +216,7 @@ impl ServerBlock {
             }
             self.nic.wire_rx(frame, t, &mut self.sys.host.mem);
         }
+        self.frame_scratch = frames;
         changed
     }
 }
@@ -225,6 +236,32 @@ impl Shard for ServerBlock {
         .flatten()
         .min()
         .map(|t| t.max(self.clock))
+    }
+
+    fn next_emission(&mut self) -> Option<SimTime> {
+        // Lower bound on the next frame reaching the switch: (a) frames
+        // already in flight on the uplink arrive as-is; (b) frames
+        // staged in the NIC TX pipeline still pay uplink propagation;
+        // (c) anything else starts from a local event and crosses PCIe
+        // and the uplink first. Under-estimating is always sound (it
+        // only shortens coarsened windows).
+        let up_lat = self.up.latency();
+        let pcie = self.nic.pcie_latency();
+        [
+            self.up.next_arrival(),
+            self.nic.earliest_tx_staged().map(|t| t + up_lat),
+            Shard::next_event(self).map(|t| t + pcie + up_lat),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    fn turnaround(&self) -> SimTime {
+        // A delivered frame pays downlink propagation, one PCIe
+        // crossing, and uplink propagation before any response it
+        // causes can reach the switch.
+        self.down.latency() + self.nic.pcie_latency() + self.up.latency()
     }
 
     fn apply(&mut self, at: SimTime, cmd: BlockCmd) {
@@ -301,8 +338,7 @@ impl Fabric<ServerBlock> for RackFabric<'_> {
     }
 
     fn pop_controls(&mut self, now: SimTime, out: &mut Vec<(usize, SimTime, BlockCmd)>) {
-        while self.outages.peek_time().is_some_and(|pt| pt <= now) {
-            let (at, o) = self.outages.pop().expect("peeked");
+        while let Some((at, o)) = self.outages.pop_if_due(now) {
             let at = at.max(now);
             match o {
                 RackOutage::DimmCrash { server, dimm } => {
@@ -460,6 +496,8 @@ impl McnRack {
                     clock: SimTime::ZERO,
                     stats: EngineStats::default(),
                     uplink_drops: Counter::default(),
+                    nic_events: Vec::new(),
+                    frame_scratch: Vec::new(),
                 })
                 .collect(),
             switch,

@@ -149,6 +149,9 @@ pub struct McnSystem {
     stall_seq: u64,
     /// Wakeup index + dirty-list bookkeeping for the event loop.
     engine: Engine,
+    /// Recycled id buffer for the engine's stale/touched drains (the
+    /// per-advance hot path allocates nothing).
+    engine_scratch: Vec<usize>,
 }
 
 impl McnSystem {
@@ -343,6 +346,7 @@ impl McnSystem {
             stalled: HashMap::new(),
             stall_seq: 0,
             engine: Engine::new(1 + n_dimms),
+            engine_scratch: Vec::new(),
         }
     }
 
@@ -644,10 +648,12 @@ impl McnSystem {
     /// inject work (binds, sends, spawns) the engine cannot observe.
     fn refresh_wakeups(&mut self) {
         self.engine.mark_stale(HOST_ID);
-        for id in self.engine.drain_stale() {
+        let ids = self.engine.drain_stale_into(std::mem::take(&mut self.engine_scratch));
+        for &id in &ids {
             let w = self.wakeup_of(id);
             self.engine.set_wakeup(id, w);
         }
+        self.engine_scratch = ids;
     }
 
     /// Earliest pending activity anywhere in the system: the staged-effect
@@ -684,8 +690,7 @@ impl McnSystem {
             let mut changed = false;
 
             // Due staged effects; each delivery marks its target dirty.
-            while self.effects.peek_time().is_some_and(|pt| pt <= t) {
-                let (_, e) = self.effects.pop().expect("peeked");
+            while let Some((_, e)) = self.effects.pop_if_due(t) {
                 self.apply(e, t);
                 changed = true;
             }
@@ -713,10 +718,12 @@ impl McnSystem {
             any = true;
             self.engine.note_round();
         }
-        for id in self.engine.drain_touched() {
+        let ids = self.engine.drain_touched_into(std::mem::take(&mut self.engine_scratch));
+        for &id in &ids {
             let w = self.wakeup_of(id);
             self.engine.set_wakeup(id, w);
         }
+        self.engine_scratch = ids;
         Activity::from_flag(any)
     }
 

@@ -174,6 +174,15 @@ impl Link {
     /// Removes and returns all frames that have arrived by `now`.
     pub fn poll(&mut self, now: SimTime) -> Vec<EthernetFrame> {
         let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    /// Like [`poll`](Self::poll), but appends into a caller-owned buffer
+    /// so hot loops reuse one allocation across polls. Returns the
+    /// number of frames delivered.
+    pub fn poll_into(&mut self, now: SimTime, out: &mut Vec<EthernetFrame>) -> usize {
+        let before = out.len();
         while let Some(Reverse(e)) = self.in_flight.peek() {
             if e.at > now {
                 break;
@@ -181,7 +190,7 @@ impl Link {
             let Reverse(e) = self.in_flight.pop().expect("peeked");
             out.push(e.frame);
         }
-        out
+        out.len() - before
     }
 
     /// Frames queued or in flight.

@@ -1049,28 +1049,35 @@ impl NetStack {
             return Err(StackError::NoNeighbor);
         };
         let src_mac = iface.mac;
+        let mtu_total = iface.mtu + crate::IPV4_HEADER_BYTES;
         // TSO: oversize TCP packets pass unfragmented; the device slices
         // (or MCN carries them whole). Everything else fragments to MTU.
-        let fragments = if proto == IpProto::Tcp && iface.tso {
-            vec![pkt]
-        } else {
-            pkt.fragment(iface.mtu + crate::IPV4_HEADER_BYTES)
-                .map_err(|_| StackError::NoRoute)?
-        };
+        let tso = proto == IpProto::Tcp && iface.tso;
         let _ = now;
-        for frag in fragments {
-            if !self.ifaces[route.ifidx].up {
-                // Dead carrier: the frame is lost on the floor, exactly as
-                // on a real NIC with no link. Transports retransmit.
-                self.stats.link_drops.inc();
-                continue;
-            }
-            let frame =
-                EthernetFrame::ipv4(dst_mac, src_mac, Bytes::from(frag.encode()));
-            self.stats.frames_out.inc();
-            self.ifaces[route.ifidx].out.push_back(frame);
+        // Fast path (the overwhelmingly common case): the packet rides
+        // one frame, so no fragment `Vec` is ever built.
+        if tso || pkt.wire_len() <= mtu_total {
+            self.tx_one(route.ifidx, dst_mac, src_mac, pkt);
+            return Ok(());
+        }
+        for frag in pkt.fragment(mtu_total).map_err(|_| StackError::NoRoute)? {
+            self.tx_one(route.ifidx, dst_mac, src_mac, frag);
         }
         Ok(())
+    }
+
+    /// Queues one IP datagram (or fragment) as an Ethernet frame on
+    /// `ifidx`, dropping it if the carrier is down.
+    fn tx_one(&mut self, ifidx: usize, dst_mac: MacAddr, src_mac: MacAddr, pkt: Ipv4Packet) {
+        if !self.ifaces[ifidx].up {
+            // Dead carrier: the frame is lost on the floor, exactly as
+            // on a real NIC with no link. Transports retransmit.
+            self.stats.link_drops.inc();
+            return;
+        }
+        let frame = EthernetFrame::ipv4(dst_mac, src_mac, Bytes::from(pkt.encode()));
+        self.stats.frames_out.inc();
+        self.ifaces[ifidx].out.push_back(frame);
     }
 
     fn drain_loopback(&mut self, now: SimTime) {

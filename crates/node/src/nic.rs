@@ -110,6 +110,8 @@ pub struct Nic {
     /// then: arrivals before it pay no interrupt).
     napi_busy_until: SimTime,
     buf_cursor: u64,
+    /// Recycled compaction buffer for the advance hot path.
+    staged_scratch: Vec<Staged>,
     /// Latency component histograms.
     pub breakdown: NicBreakdown,
     /// Frames transmitted.
@@ -134,6 +136,7 @@ impl Nic {
             rx_deliver: Vec::new(),
             napi_busy_until: SimTime::ZERO,
             buf_cursor: 0,
+            staged_scratch: Vec::new(),
             breakdown: NicBreakdown::default(),
             tx_frames: Counter::default(),
             rx_frames: Counter::default(),
@@ -231,6 +234,26 @@ impl Nic {
         }
     }
 
+    /// One-way PCIe traversal latency configured for this NIC.
+    pub fn pcie_latency(&self) -> SimTime {
+        self.cfg.pcie_latency
+    }
+
+    /// Lower bound on the earliest time any *currently staged* TX frame
+    /// can reach the wire: wire-stage deadlines as-is, driver handoffs
+    /// plus one PCIe crossing. In-flight TX DMA is excluded on purpose —
+    /// its completion arrives as a memory event, so it is already
+    /// covered by the owner's next-event bound. Used by the windowed
+    /// scheduler's lookahead ([`Shard::next_emission`]); soundness only
+    /// requires never over-estimating.
+    ///
+    /// [`Shard::next_emission`]: mcn_sim::shard::Shard::next_emission
+    pub fn earliest_tx_staged(&self) -> Option<SimTime> {
+        let wire = self.tx_wire.iter().map(|s| s.at).min();
+        let pend = self.tx_pending.iter().map(|s| s.at + self.cfg.pcie_latency).min();
+        [wire, pend].into_iter().flatten().min()
+    }
+
     /// Earliest internal deadline.
     pub fn next_event(&self) -> Option<SimTime> {
         let mut t: Option<SimTime> = None;
@@ -249,6 +272,22 @@ impl Nic {
 
     /// Progresses internal pipelines to `now`; returns due events.
     pub fn advance(&mut self, now: SimTime, mem: &mut MemorySystem) -> Vec<NicEvent> {
+        let mut out = Vec::new();
+        self.advance_into(now, mem, &mut out);
+        out
+    }
+
+    /// Like [`advance`](Self::advance), but appends due events into a
+    /// caller-owned buffer and compacts the staged queues through one
+    /// recycled scratch, so the per-tick hot path allocates nothing.
+    /// Returns the number of events produced.
+    pub fn advance_into(
+        &mut self,
+        now: SimTime,
+        mem: &mut MemorySystem,
+        out: &mut Vec<NicEvent>,
+    ) -> usize {
+        let before = out.len();
         // Start DMA for driver handoffs whose charge completed.
         while let Some(s) = self.tx_pending.front() {
             if s.at > now {
@@ -271,28 +310,28 @@ impl Nic {
             );
             self.tx_dma.insert(job, (now, s.frame));
         }
-        let mut out = Vec::new();
-        let mut wire: Vec<Staged> = Vec::new();
+        let mut kept = std::mem::take(&mut self.staged_scratch);
+        debug_assert!(kept.is_empty());
         for s in self.tx_wire.drain(..) {
             if s.at <= now {
                 self.tx_frames.inc();
                 out.push(NicEvent::TxWire(s.frame));
             } else {
-                wire.push(s);
+                kept.push(s);
             }
         }
-        self.tx_wire = wire;
-        let mut deliver: Vec<Staged> = Vec::new();
+        std::mem::swap(&mut self.tx_wire, &mut kept);
         for s in self.rx_deliver.drain(..) {
             if s.at <= now {
                 self.rx_frames.inc();
                 out.push(NicEvent::RxDeliver(s.frame));
             } else {
-                deliver.push(s);
+                kept.push(s);
             }
         }
-        self.rx_deliver = deliver;
-        out
+        std::mem::swap(&mut self.rx_deliver, &mut kept);
+        self.staged_scratch = kept;
+        out.len() - before
     }
 
     /// True while anything is staged or in DMA.

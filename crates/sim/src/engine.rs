@@ -398,10 +398,19 @@ impl Engine {
     /// Returns (and clears) the set of stale ids; the owner re-queries
     /// each component and calls [`set_wakeup`](Engine::set_wakeup).
     pub fn drain_stale(&mut self) -> Vec<usize> {
+        self.drain_stale_into(Vec::new())
+    }
+
+    /// Like [`drain_stale`](Self::drain_stale), but recycles `buf`
+    /// (cleared) as the new backing storage, so steady-state refresh
+    /// loops allocate nothing. The caller hands the returned `Vec` back
+    /// on the next call.
+    pub fn drain_stale_into(&mut self, mut buf: Vec<usize>) -> Vec<usize> {
         for &id in &self.stale_ids {
             self.stale[id] = false;
         }
-        std::mem::take(&mut self.stale_ids)
+        buf.clear();
+        std::mem::replace(&mut self.stale_ids, buf)
     }
 
     /// Records `id`'s earliest deadline in the wakeup index.
@@ -469,10 +478,18 @@ impl Engine {
     /// Returns (and clears) every component touched during this
     /// `advance`; the owner refreshes their wakeup index entries.
     pub fn drain_touched(&mut self) -> Vec<usize> {
+        self.drain_touched_into(Vec::new())
+    }
+
+    /// Like [`drain_touched`](Self::drain_touched), but recycles `buf`
+    /// (cleared) as the new backing storage — the allocation-free
+    /// variant for the per-advance hot path.
+    pub fn drain_touched_into(&mut self, mut buf: Vec<usize>) -> Vec<usize> {
         for &id in &self.touched_ids {
             self.touched[id] = false;
         }
-        std::mem::take(&mut self.touched_ids)
+        buf.clear();
+        std::mem::replace(&mut self.touched_ids, buf)
     }
 }
 

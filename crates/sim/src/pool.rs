@@ -1,0 +1,123 @@
+//! Reusable buffer pools for scheduler hot paths.
+//!
+//! The windowed scheduler ([`shard`](crate::shard)) moves per-shard
+//! `Vec`s across the barrier every round: delivery batches in, outbox
+//! batches out. Allocating those fresh each round dominated the
+//! parallel engine's constant factor, so the coordinator now draws them
+//! from a [`FramePool`] and returns them once drained. The pool is a
+//! plain free list — no locking, no sharing — because every take and
+//! put happens on the coordinator thread in deterministic shard order,
+//! which keeps the `pool.*` counters byte-identical across thread
+//! counts (they are part of the snapshot-diff determinism contract).
+
+use crate::metrics::{Instrumented, MetricSink};
+use crate::stats::Counter;
+
+/// Deterministic accounting for one [`FramePool`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PoolStats {
+    /// Buffers handed out fresh because the free list was empty.
+    pub allocated: Counter,
+    /// Buffers handed out from the free list (an allocation avoided,
+    /// once the recycled buffer has grown capacity).
+    pub reused: Counter,
+    /// Buffers accepted back into the free list.
+    pub returned: Counter,
+    /// Buffers dropped on return because the free list was full.
+    pub discarded: Counter,
+}
+
+impl Instrumented for PoolStats {
+    fn metrics(&self, out: &mut MetricSink) {
+        out.counter("allocated", self.allocated.get());
+        out.counter("reused", self.reused.get());
+        out.counter("returned", self.returned.get());
+        out.counter("discarded", self.discarded.get());
+    }
+}
+
+/// A bounded free list of `Vec<T>` buffers.
+///
+/// Ownership rule: a buffer taken from the pool is owned outright by
+/// the taker — it may cross threads inside a job, grow, or be dropped —
+/// and re-enters the pool only through an explicit [`put`](Self::put)
+/// on the owning (coordinator) thread. `put` clears the buffer, so a
+/// pooled buffer is always empty but keeps its grown capacity; that
+/// capacity is what makes reuse pay.
+#[derive(Debug)]
+pub struct FramePool<T> {
+    free: Vec<Vec<T>>,
+    cap: usize,
+    /// Take/put accounting (deterministic; safe to snapshot).
+    pub stats: PoolStats,
+}
+
+impl<T> FramePool<T> {
+    /// A pool retaining at most `cap` idle buffers.
+    pub fn new(cap: usize) -> Self {
+        FramePool { free: Vec::with_capacity(cap), cap, stats: PoolStats::default() }
+    }
+
+    /// An empty buffer: recycled if one is idle, fresh otherwise.
+    pub fn take(&mut self) -> Vec<T> {
+        match self.free.pop() {
+            Some(buf) => {
+                self.stats.reused.inc();
+                buf
+            }
+            None => {
+                self.stats.allocated.inc();
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a buffer to the free list (clearing it), or drops it if
+    /// the list is full.
+    pub fn put(&mut self, mut buf: Vec<T>) {
+        buf.clear();
+        if self.free.len() < self.cap {
+            self.stats.returned.inc();
+            self.free.push(buf);
+        } else {
+            self.stats.discarded.inc();
+        }
+    }
+
+    /// Idle buffers currently held.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_recycles_capacity() {
+        let mut pool: FramePool<u32> = FramePool::new(4);
+        let mut a = pool.take();
+        assert_eq!(pool.stats.allocated.get(), 1);
+        a.extend([1, 2, 3]);
+        let cap = a.capacity();
+        pool.put(a);
+        assert_eq!(pool.stats.returned.get(), 1);
+        assert_eq!(pool.idle(), 1);
+
+        let b = pool.take();
+        assert!(b.is_empty(), "pooled buffers come back cleared");
+        assert!(b.capacity() >= cap, "pooled buffers keep their capacity");
+        assert_eq!(pool.stats.reused.get(), 1);
+    }
+
+    #[test]
+    fn full_pool_discards_returns() {
+        let mut pool: FramePool<u8> = FramePool::new(1);
+        pool.put(Vec::new());
+        pool.put(Vec::new());
+        assert_eq!(pool.idle(), 1);
+        assert_eq!(pool.stats.returned.get(), 1);
+        assert_eq!(pool.stats.discarded.get(), 1);
+    }
+}

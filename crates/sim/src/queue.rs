@@ -192,6 +192,18 @@ impl<E> EventQueue<E> {
         None
     }
 
+    /// Pops the next event only if it is due at or before `deadline`.
+    /// The standard shape of every drain loop
+    /// (`while let Some((t, e)) = q.pop_if_due(now) { … }`) without the
+    /// separate peek/pop dance.
+    pub fn pop_if_due(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? <= deadline {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
     /// The timestamp of the next live event without removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(Reverse(entry)) = self.heap.peek() {
@@ -231,6 +243,19 @@ mod tests {
         assert_eq!(q.pop(), Some((SimTime::from_ns(20), 2)));
         assert_eq!(q.pop(), Some((SimTime::from_ns(30), 3)));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_if_due_respects_the_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), 1);
+        q.schedule(SimTime::from_ns(30), 3);
+        assert_eq!(q.pop_if_due(SimTime::from_ns(5)), None);
+        assert_eq!(q.pop_if_due(SimTime::from_ns(10)), Some((SimTime::from_ns(10), 1)));
+        assert_eq!(q.pop_if_due(SimTime::from_ns(20)), None, "future events stay queued");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_if_due(SimTime::MAX), Some((SimTime::from_ns(30), 3)));
+        assert_eq!(q.pop_if_due(SimTime::MAX), None);
     }
 
     #[test]

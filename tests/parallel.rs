@@ -12,7 +12,7 @@
 //! [`OutagePlan`] (DIMM crash, switch partition-and-heal), seeded
 //! transient faults from a [`FaultPlan`] (frame loss, bit flips,
 //! dropped ALERT_N edges, stalled DMA), and impaired 10GbE uplinks —
-//! and diff the snapshots of 1-, 2- and 4-thread runs.
+//! and diff the snapshots of 1-, 2-, 4- and 8-thread runs.
 
 use mcn::{
     ComponentExt, EthernetCluster, Instrumented, McnConfig, McnRack, MetricSink, SystemConfig,
@@ -103,6 +103,7 @@ fn rack_chaos_mix_is_thread_count_invariant() {
     let serial = run(1);
     assert_eq!(serial, run(2), "2-thread run diverged from serial");
     assert_eq!(serial, run(4), "4-thread run diverged from serial");
+    assert_eq!(serial, run(8), "8-thread run diverged from serial");
     // The chaos must actually have happened for the comparison to mean
     // anything.
     assert!(serial.1.contains("\"root.rack.partitions\": 1"));
