@@ -1,74 +1,132 @@
-//! Serving-tier bench-smoke: a memcached-style KV workload on a 4-DIMM
-//! rack (2 servers x 2 DIMMs, one `KvServer` per DIMM) under an
-//! open-loop, heavy-tailed client fleet that deliberately outruns the
-//! per-server in-flight budget, so the shedding path is on the critical
-//! path and its counters land in the output.
+//! Serving-tier bench-smoke: a *replicated* memcached-style KV workload
+//! on a 4-DIMM rack (2 servers x 2 DIMMs, one `KvServer` per DIMM) that
+//! survives a correlated failure domain dying mid-run.
 //!
-//! Reports request latency percentiles (p50/p99/p999), goodput under the
-//! SLO, and the overload counters (`shed_requests`, `shed_conns`,
-//! `tcp.accept_overflows`, `tcp.syn_drops`), then re-runs the identical
-//! workload on `--threads N` (default 2) workers and hard-gates on the
-//! runs being byte-identical (same final clock, same full-registry
-//! snapshot — including the shared `ServeReport`, whose fields are all
-//! commutative by contract).
+//! Every key range lives on R=2 DIMMs in distinct failure domains (the
+//! two DIMM risers, one per server), served to a resilient open-loop
+//! client fleet: half the clients hedge their GETs, half rely on timeout
+//! failover — so both recovery paths land in the counters. At
+//! `CRASH_AT` the whole `riser0` domain (both DIMMs of server 0)
+//! crashes atomically and heals `DOWN_FOR` later; the bench measures
+//! answered fraction and p99 latency *inside* that fault window vs
+//! steady state.
 //!
-//! Writes `BENCH_serving.json` into the working directory. Exit is
-//! nonzero if the parallel run diverges or the workload fails to finish;
-//! the SLO target itself is warn-only (simulated latency is a model
-//! property, not a CI-host property, but the model can drift).
+//! Hard gates (exit nonzero): the parallel re-run must be byte-identical
+//! to serial, the fleet must drain, `rack.engine.rounds` must be
+//! nonzero, the domain crash must have fired and engaged failover
+//! (`serve.failovers` > 0), and the accounting identity
+//! `issued == answered + gave_up` must hold — a domain crash of one
+//! replica may cost latency, never a silently lost request.
+//!
+//! Writes `BENCH_serving.json` into the working directory. The SLO
+//! target itself stays warn-only (simulated latency is a model property,
+//! not a CI-host property, but the model can drift).
 
 use std::time::Instant;
 
 use mcn::{McnConfig, McnRack, MetricSink, SystemConfig};
-use mcn_serve::{KvClient, KvClientConfig, KvServer, KvServerConfig, ServeReport};
-use mcn_sim::SimTime;
+use mcn_serve::{
+    Backend, KvServer, KvServerConfig, ReplicaMap, ResilientClientConfig, ResilientKvClient,
+    ServeReport,
+};
+use mcn_sim::{OutageKind, OutagePlan, SimTime};
 
 const SERVERS: usize = 2;
 const DIMMS: usize = 2;
-const CLIENTS_PER_DIMM: u64 = 2;
+const CLIENTS_PER_SERVER: u64 = 4;
 const REQS_PER_CLIENT: u64 = 250;
 const SLO: SimTime = SimTime::from_us(200);
 const DEADLINE: SimTime = SimTime::from_ms(50);
+/// When the `riser0` failure domain (both DIMMs of server 0) crashes.
+const CRASH_AT: SimTime = SimTime::from_ms(3);
+/// How long it stays down.
+const DOWN_FOR: SimTime = SimTime::from_ms(6);
 
 type Report = std::sync::Arc<parking_lot::Mutex<ServeReport>>;
 
-/// Builds the benchmark workload: one KV server per DIMM with a modest
-/// in-flight budget, and an open-loop client fleet (2 clients per DIMM,
-/// heavy-tailed arrivals, skewed keys) that bursts past that budget.
+/// Domain name of server `s`'s DIMM riser (used for both the outage plan
+/// and replica placement, so chaos and placement agree on blast radius).
+fn riser(s: usize) -> String {
+    format!("riser{s}")
+}
+
+/// Builds the benchmark workload: one KV server per DIMM, a replica map
+/// spreading each key range across both risers, a resilient client
+/// fleet (hedging and non-hedging halves), and the scheduled domain
+/// crash.
 fn build_workload() -> (McnRack, Report) {
     let report = ServeReport::shared(SLO);
+    report
+        .lock()
+        .set_fault_window(CRASH_AT, CRASH_AT + DOWN_FOR);
     let mut rack = McnRack::new(&SystemConfig::default(), SERVERS, DIMMS, McnConfig::level(3));
+
+    // The correlated outage: riser0 = both DIMMs of server 0, down as
+    // one event at a window boundary.
+    let mut plan = OutagePlan::new(0xD0);
+    plan.define_domain(
+        &riser(0),
+        &[
+            &McnRack::dimm_outage_component(0, 0),
+            &McnRack::dimm_outage_component(0, 1),
+        ],
+    );
+    plan.define_domain(
+        &riser(1),
+        &[
+            &McnRack::dimm_outage_component(1, 0),
+            &McnRack::dimm_outage_component(1, 1),
+        ],
+    );
+    plan.at(
+        &riser(0),
+        CRASH_AT,
+        OutageKind::DomainDown { down_for: DOWN_FOR },
+    );
+    rack.set_outage_plan(&plan);
+
     let server = KvServerConfig {
         inflight_budget: 4,
         ..KvServerConfig::default()
     };
+    let mut backends = Vec::new();
     for s in 0..SERVERS {
         for d in 0..DIMMS {
             rack.spawn_dimm(s, d, Box::new(KvServer::new(server.clone(), report.clone())), 0);
+            backends.push(Backend {
+                addr: rack.server(s).dimm_ip(d),
+                port: 11211,
+                domain: riser(s),
+            });
         }
     }
+    let map = ReplicaMap::new(backends, 8, 2);
+
     for s in 0..SERVERS {
-        for d in 0..DIMMS {
-            let ip = rack.server(s).dimm_ip(d);
-            for c in 0..CLIENTS_PER_DIMM {
-                rack.spawn_host(
-                    s,
-                    Box::new(KvClient::new(
-                        KvClientConfig {
-                            server: ip,
-                            seed: 0xBE0 + ((s * DIMMS + d) as u64) * CLIENTS_PER_DIMM + c,
-                            n_requests: REQS_PER_CLIENT,
-                            mean_gap: SimTime::from_us(5),
-                            set_pct: 20,
-                            val_len: 512,
-                            pipeline: 32,
-                            ..KvClientConfig::default()
-                        },
-                        report.clone(),
-                    )),
-                    (d as u64 * CLIENTS_PER_DIMM + c) as usize % 2,
-                );
+        for c in 0..CLIENTS_PER_SERVER {
+            let i = s as u64 * CLIENTS_PER_SERVER + c;
+            let mut cfg = ResilientClientConfig::new(map.clone());
+            cfg.seed = 0xBE0 + i;
+            cfg.n_requests = REQS_PER_CLIENT;
+            cfg.mean_gap = SimTime::from_us(25);
+            cfg.keyspace = 1024;
+            cfg.set_pct = 20;
+            cfg.val_len = 512;
+            // A 6ms correlated outage concentrates retries: give the
+            // bucket enough depth (and refill) that recovery is not
+            // budget-bound while still bounding a true retry storm.
+            cfg.retry_budget = 32;
+            cfg.retry_earn_tenths = 5;
+            // Half the fleet hedges its reads; the other half recovers
+            // purely by timeout failover, so both paths show up.
+            if i % 2 == 1 {
+                cfg.hedge_delay = None;
             }
+            rack.spawn_host(
+                s,
+                Box::new(ResilientKvClient::new(cfg, report.clone())),
+                (c % 2) as usize,
+            );
         }
     }
     (rack, report)
@@ -134,7 +192,7 @@ fn main() {
     }
 
     let rep = report.lock();
-    let expected_clients = (SERVERS * DIMMS) as u64 * CLIENTS_PER_DIMM;
+    let expected_clients = SERVERS as u64 * CLIENTS_PER_SERVER;
     if rep.completed_clients != expected_clients || rep.ok == 0 {
         eprintln!(
             "FAIL: fleet did not drain by {DEADLINE}: {}/{expected_clients} clients, \
@@ -144,17 +202,50 @@ fn main() {
         std::process::exit(1);
     }
 
+    // The availability gates: the chaos must have engaged, and no
+    // request may vanish silently.
+    let answered = rep.latency.count();
+    if rep.issued != answered + rep.gave_up {
+        eprintln!(
+            "FAIL: accounting identity broken: issued {} != answered {answered} \
+             + gave_up {} — silent request loss",
+            rep.issued, rep.gave_up
+        );
+        std::process::exit(1);
+    }
+    if rep.fault_issued == 0 || rep.failovers == 0 {
+        eprintln!(
+            "FAIL: chaos did not engage: {} requests in the fault window, \
+             {} failovers",
+            rep.fault_issued, rep.failovers
+        );
+        std::process::exit(1);
+    }
+
+    let tree = mcn_sim::MetricsSnapshot::collect(&rack);
+    if tree.get_u64("engine.rounds") == 0 {
+        eprintln!("FAIL: rack.engine.rounds is 0 — block round accounting broken");
+        std::process::exit(1);
+    }
+    if tree.get_u64(&format!("rack.outage.domain.{}.crashes", riser(0))) != 1
+        || tree.get_u64(&format!("rack.outage.domain.{}.heals", riser(0))) != 1
+    {
+        eprintln!("FAIL: the riser0 domain crash/heal pair did not fire exactly once");
+        std::process::exit(1);
+    }
+
     let sim_s = serial_now.as_secs_f64();
     let pct = |p: f64| rep.latency.percentile(p).unwrap_or(SimTime::ZERO);
     let us = |t: SimTime| t.as_ps() as f64 / 1e6;
     let p50 = pct(50.0);
     let p99 = pct(99.0);
     let p999 = pct(99.9);
+    let fault_p99 = rep.fault_latency.percentile(99.0).unwrap_or(SimTime::ZERO);
+    let steady_p99 = rep.steady_latency.percentile(99.0).unwrap_or(SimTime::ZERO);
     let goodput_rps = rep.goodput_rps(serial_now);
     let speedup = serial_wall_s / parallel_wall_s.max(1e-9);
 
     // Stack-level admission counters, summed over every node in the rack.
-    let tree = mcn_sim::MetricsSnapshot::collect(&rack);
     let sum = |leaf: &str| {
         tree.iter()
             .filter(|(p, _)| p.ends_with(leaf))
@@ -168,11 +259,14 @@ fn main() {
     let mut sink = MetricSink::new();
     sink.text(
         "workload",
-        "rack 2x2 KV serving (8 open-loop clients, heavy-tailed arrivals, skewed keys)",
+        "rack 2x2 replicated KV serving (8 resilient open-loop clients, R=2 \
+         across DIMM risers, riser0 domain crash mid-run)",
     );
     sink.value("sim_seconds", sim_s);
     sink.value("wall_seconds", serial_wall_s);
-    sink.counter("requests_answered", rep.latency.count());
+    sink.counter("requests_issued", rep.issued);
+    sink.counter("requests_answered", answered);
+    sink.counter("gave_up", rep.gave_up);
     sink.counter("ok", rep.ok);
     sink.counter("miss", rep.miss);
     sink.counter("busy", rep.busy);
@@ -182,6 +276,21 @@ fn main() {
     sink.value("slo_us", us(SLO));
     sink.counter("under_slo", rep.under_slo);
     sink.value("goodput_under_slo_rps", goodput_rps);
+    // Availability inside the fault window vs steady state.
+    sink.value("fault_window_start_ms", CRASH_AT.as_secs_f64() * 1e3);
+    sink.value("fault_window_end_ms", (CRASH_AT + DOWN_FOR).as_secs_f64() * 1e3);
+    sink.counter("fault_issued", rep.fault_issued);
+    sink.counter("fault_answered", rep.fault_answered);
+    sink.value("fault_availability", rep.fault_availability());
+    sink.value("fault_p99_us", us(fault_p99));
+    sink.value("steady_p99_us", us(steady_p99));
+    sink.counter("failovers", rep.failovers);
+    sink.counter("hedges_launched", rep.hedges_launched);
+    sink.counter("hedges_won", rep.hedges_won);
+    sink.counter("retry_budget_spent", rep.retry_budget_spent);
+    sink.counter("retry_budget_exhausted", rep.retry_budget_exhausted);
+    sink.counter("breaker_opens", rep.breaker_opens);
+    sink.counter("breaker_half_open_probes", rep.breaker_half_open_probes);
     sink.counter("shed_requests", rep.shed_requests);
     sink.counter("shed_conns", rep.shed_conns);
     sink.counter("syn_drops", syn_drops);
@@ -204,6 +313,11 @@ fn main() {
     println!(
         "OK: {threads}-thread serving run byte-identical to serial ({} metrics)",
         serial_snap.lines().count()
+    );
+    println!(
+        "OK: riser0 crash survived: {}/{} answered in the fault window \
+         ({} failovers, {} hedges won, 0 silent misses)",
+        rep.fault_answered, rep.fault_issued, rep.failovers, rep.hedges_won
     );
     if p99 > SLO {
         eprintln!(

@@ -59,6 +59,11 @@ enum RackOutage {
     NodeDown { server: usize },
     /// Node comes back: uplink up + every DIMM powers on.
     NodeUp { server: usize },
+    /// Accounting marker: failure domain `domain` crashes now (the
+    /// member events are scheduled at the same instant right after it).
+    DomainCrash { domain: usize },
+    /// Accounting marker: failure domain `domain` heals now.
+    DomainHeal { domain: usize },
 }
 
 /// A control command the coordinator hands to one server block at a
@@ -79,6 +84,18 @@ enum BlockCmd {
     NodeUp,
 }
 
+/// Per-failure-domain outage accounting (one entry per domain defined in
+/// the installed [`OutagePlan`], in definition order).
+#[derive(Debug)]
+pub struct DomainStats {
+    /// Domain name from the plan.
+    pub name: String,
+    /// Whole-domain crashes applied.
+    pub crashes: Counter,
+    /// Whole-domain heals applied.
+    pub heals: Counter,
+}
+
 /// Rack-layer outage statistics.
 #[derive(Debug, Default)]
 pub struct RackStats {
@@ -93,6 +110,8 @@ pub struct RackStats {
     pub partitions: Counter,
     /// Whole-node reboots applied.
     pub node_reboots: Counter,
+    /// Correlated failure-domain accounting.
+    pub domains: Vec<DomainStats>,
 }
 
 /// One shard of the rack: a server, its NIC, and its up/down links.
@@ -146,7 +165,13 @@ impl ServerBlock {
     /// and its downlink into the NIC.
     fn advance_block(&mut self, t: SimTime, outbox: &mut Outbox<EthernetFrame>) -> bool {
         let mut changed = false;
-        self.sys.advance(t);
+        // Fold the server's own activity into the convergence flag so
+        // `rounds` counts real work (the internal advance runs to its own
+        // fixed point and reports Idle once quiescent, so this cannot
+        // livelock the loop in `run_window`).
+        if self.sys.advance(t).is_active() {
+            changed = true;
+        }
         // NIC DMA completions the server collected for us.
         for (waiter, job) in std::mem::take(&mut self.sys.foreign_jobs) {
             debug_assert_eq!(waiter, NIC_WAITER);
@@ -373,6 +398,12 @@ impl Fabric<ServerBlock> for RackFabric<'_> {
                     self.link_up[server] = true;
                     out.push((server, at, BlockCmd::NodeUp));
                 }
+                RackOutage::DomainCrash { domain } => {
+                    self.stats.domains[domain].crashes.inc();
+                }
+                RackOutage::DomainHeal { domain } => {
+                    self.stats.domains[domain].heals.inc();
+                }
             }
         }
     }
@@ -528,6 +559,48 @@ impl McnRack {
     /// Outage-plan component name for the ToR switch (partitions).
     pub const SWITCH_OUTAGE_COMPONENT: &'static str = "switch";
 
+    /// Expands one failure-domain member name into its (crash, heal)
+    /// event pair. Understands the same component shapes as
+    /// [`set_outage_plan`](Self::set_outage_plan): `server{s}.dimm{d}`,
+    /// `server{s}.link`, and `server{s}` (whole-node reboot).
+    fn member_outages(&self, domain: &str, member: &str) -> (RackOutage, RackOutage) {
+        let bad = || -> ! {
+            panic!(
+                "failure domain '{domain}': member '{member}' names no component \
+                 of this rack ({} servers)",
+                self.blocks.len()
+            )
+        };
+        let Some(rest) = member.strip_prefix("server") else { bad() };
+        let (s, tail) = match rest.split_once('.') {
+            Some((s, tail)) => (s, Some(tail)),
+            None => (rest, None),
+        };
+        let Ok(s) = s.parse::<usize>() else { bad() };
+        if s >= self.blocks.len() {
+            bad();
+        }
+        match tail {
+            None => (RackOutage::NodeDown { server: s }, RackOutage::NodeUp { server: s }),
+            Some("link") => {
+                (RackOutage::LinkDown { server: s }, RackOutage::LinkUp { server: s })
+            }
+            Some(t) => {
+                let Some(d) = t.strip_prefix("dimm").and_then(|d| d.parse::<usize>().ok())
+                else {
+                    bad()
+                };
+                if d >= self.blocks[s].sys.dimms() {
+                    bad();
+                }
+                (
+                    RackOutage::DimmCrash { server: s, dimm: d },
+                    RackOutage::DimmPowerOn { server: s, dimm: d },
+                )
+            }
+        }
+    }
+
     /// Installs a hard-outage plan. Component names understood:
     ///
     /// * `server{s}.dimm{d}` + [`OutageKind::DimmCrash`] — crash/reboot one
@@ -538,7 +611,48 @@ impl McnRack {
     ///   DIMM crashed until the node comes back,
     /// * `switch` + [`OutageKind::SwitchPartition`] — servers may only
     ///   reach their own group until `heal_at`.
+    ///
+    /// Failure domains defined on the plan
+    /// ([`OutagePlan::define_domain`](mcn_sim::OutagePlan::define_domain))
+    /// expand too: a [`OutageKind::DomainDown`] scheduled against the
+    /// domain name crashes every member (each member name uses the
+    /// component shapes above) at one instant and heals them all
+    /// `down_for` later. Both edges land at window boundaries on the
+    /// coordinator, so the whole domain flips atomically and
+    /// deterministically at any thread count. Per-domain accounting is
+    /// exported as `rack.outage.domain.<name>.{crashes,heals}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a domain member names a component outside this rack —
+    /// always a chaos-wiring bug, never a runtime condition.
     pub fn set_outage_plan(&mut self, plan: &OutagePlan) {
+        for (di, dom) in plan.domains().iter().enumerate() {
+            if self.stats.domains.len() <= di {
+                self.stats.domains.push(DomainStats {
+                    name: dom.name.clone(),
+                    crashes: Counter::default(),
+                    heals: Counter::default(),
+                });
+            }
+            let mut sched = plan.schedule(&dom.name);
+            for (t, kind) in sched.pop_due(SimTime::MAX) {
+                let OutageKind::DomainDown { down_for } = kind else {
+                    continue;
+                };
+                // Markers first: stable FIFO ordering for simultaneous
+                // events means the accounting fires before (crash) and
+                // after (heal edge at t + down_for) the member commands
+                // of the same instant.
+                self.outages.schedule(t, RackOutage::DomainCrash { domain: di });
+                self.outages.schedule(t + down_for, RackOutage::DomainHeal { domain: di });
+                for m in &dom.members {
+                    let (down, up) = self.member_outages(&dom.name, m);
+                    self.outages.schedule(t, down);
+                    self.outages.schedule(t + down_for, up);
+                }
+            }
+        }
         for s in 0..self.blocks.len() {
             for d in 0..self.blocks[s].sys.dimms() {
                 let mut sched = plan.schedule(&Self::dimm_outage_component(s, d));
@@ -790,6 +904,12 @@ impl Instrumented for McnRack {
             out.counter("link_downs", self.stats.link_downs.get());
             out.counter("partitions", self.stats.partitions.get());
             out.counter("node_reboots", self.stats.node_reboots.get());
+            for d in &self.stats.domains {
+                out.scoped(&format!("outage.domain.{}", d.name), |out| {
+                    out.counter("crashes", d.crashes.get());
+                    out.counter("heals", d.heals.get());
+                });
+            }
         });
         out.absorb("switch", &self.switch);
         for (s, b) in self.blocks.iter().enumerate() {
@@ -1020,6 +1140,53 @@ mod tests {
         assert!(rack.server(1).dimm(0).alive(), "node back at 400us");
         assert!(rack.server(1).hdrv.port_is_up(0), "reinit handshake healed");
         assert_eq!(rack.stats.node_reboots.get(), 1);
+    }
+
+    #[test]
+    fn domain_crash_fells_and_heals_all_members_atomically() {
+        use mcn_sim::OutagePlan;
+        let mut rack = mk(2, 2, 1);
+        let mut plan = OutagePlan::new(7);
+        plan.define_domain(
+            "riser0",
+            &[
+                &McnRack::dimm_outage_component(0, 0),
+                &McnRack::dimm_outage_component(0, 1),
+            ],
+        );
+        plan.domain_crash(
+            "riser0",
+            SimTime::from_us(100),
+            SimTime::from_us(300),
+        );
+        rack.set_outage_plan(&plan);
+        rack.run_until(SimTime::from_us(200));
+        // Both members fell at the same boundary; the other server's
+        // DIMMs are untouched.
+        assert!(!rack.server(0).dimm(0).alive(), "member 0 down");
+        assert!(!rack.server(0).dimm(1).alive(), "member 1 down");
+        assert!(rack.server(1).dimm(0).alive(), "other domain untouched");
+        assert_eq!(rack.stats.domains[0].crashes.get(), 1);
+        assert_eq!(rack.stats.domains[0].heals.get(), 0);
+        rack.run_until(SimTime::from_ms(10));
+        assert!(rack.server(0).dimm(0).alive(), "member 0 healed");
+        assert!(rack.server(0).dimm(1).alive(), "member 1 healed");
+        assert_eq!(rack.stats.domains[0].heals.get(), 1);
+        // The per-domain counters are in the registry under rack.*.
+        let snap = mcn_sim::MetricsSnapshot::collect(&rack);
+        assert_eq!(snap.get_u64("rack.outage.domain.riser0.crashes"), 1);
+        assert_eq!(snap.get_u64("rack.outage.domain.riser0.heals"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "names no component")]
+    fn domain_with_unknown_member_panics_at_install() {
+        use mcn_sim::OutagePlan;
+        let mut rack = mk(2, 1, 1);
+        let mut plan = OutagePlan::new(7);
+        plan.define_domain("bogus", &["server9.dimm0"]);
+        plan.domain_crash("bogus", SimTime::from_us(1), SimTime::from_us(1));
+        rack.set_outage_plan(&plan);
     }
 
     #[test]

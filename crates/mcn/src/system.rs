@@ -370,7 +370,8 @@ impl McnSystem {
                 let down_for = match kind {
                     OutageKind::DimmCrash { down_for }
                     | OutageKind::LinkDown { down_for }
-                    | OutageKind::NodeReboot { down_for } => down_for,
+                    | OutageKind::NodeReboot { down_for }
+                    | OutageKind::DomainDown { down_for } => down_for,
                     OutageKind::SwitchPartition { .. } => continue,
                 };
                 self.effects.schedule(t, Effect::Crash { dimm: d });

@@ -614,6 +614,18 @@ impl NetStack {
         }
     }
 
+    /// Peer-advertised receive window in bytes, or `None` for unknown
+    /// handles. A zero window means the peer is alive but momentarily
+    /// full — callers deciding whether a stalled request warrants
+    /// failover should treat `Some(0)` as "wait for persist probes",
+    /// not "peer dead".
+    pub fn tcp_snd_wnd(&self, sock: SockId) -> Option<u32> {
+        match self.sockets.get(sock.0) {
+            Some(Socket::Tcp { conn, .. }) => Some(conn.snd_wnd()),
+            _ => None,
+        }
+    }
+
     /// True when the peer closed and all data was read.
     pub fn tcp_at_eof(&self, sock: SockId) -> bool {
         match self.sockets.get(sock.0) {

@@ -192,10 +192,25 @@ pub struct TcpConn {
     /// Consecutive RTO firings with no ACK progress (unlike `rto_backoff`
     /// this is not capped, so it can be compared against any retry budget).
     consec_rtos: u32,
+    /// Go-back-N recovery point: `snd_nxt` at the last RTO. While
+    /// `snd_una` sits below it, every segment in that gap is presumed lost
+    /// (bulk loss — e.g. a crashed DIMM's rings), so each forward ACK
+    /// immediately retransmits the next head segment instead of waiting
+    /// out another doubled RTO. Cleared once `snd_una` passes it.
+    rto_recover: Option<u32>,
     error: Option<TcpError>,
     rtx_deadline: Option<SimTime>,
     time_wait_deadline: Option<SimTime>,
     rtt_probe: Option<(u32, SimTime)>,
+
+    // --- persist (zero-window probing, RFC 1122 §4.2.2.17) ---
+    /// Next persist-probe firing: armed while the peer advertises a zero
+    /// window with data (or a FIN) still waiting, `None` otherwise. The
+    /// probe keeps the window discovery alive without burning the RTO
+    /// give-up budget — a zero-window peer is *alive*, just backpressured.
+    persist_deadline: Option<SimTime>,
+    /// Exponential persist-interval backoff (capped like the RTO's).
+    persist_backoff: u32,
 
     // --- keepalive ---
     /// Next keepalive firing: idle deadline when `ka_probes_sent == 0`,
@@ -236,6 +251,11 @@ pub struct TcpStats {
     pub bytes_sent: u64,
     /// Connections abandoned after `max_rto_retries` consecutive timeouts.
     pub rto_giveups: u64,
+    /// Persist (zero-window) probes transmitted.
+    pub persist_probes_out: u64,
+    /// Times the sender entered a zero-window stall (armed the persist
+    /// timer with data waiting).
+    pub zero_window_stalls: u64,
     /// Keepalive probes transmitted.
     pub keepalive_probes_out: u64,
     /// Connections declared dead after `keepalive_probes` unanswered
@@ -258,6 +278,8 @@ impl TcpStats {
         self.bytes_delivered += other.bytes_delivered;
         self.bytes_sent += other.bytes_sent;
         self.rto_giveups += other.rto_giveups;
+        self.persist_probes_out += other.persist_probes_out;
+        self.zero_window_stalls += other.zero_window_stalls;
         self.keepalive_probes_out += other.keepalive_probes_out;
         self.keepalive_giveups += other.keepalive_giveups;
         self.time_wait_rejects += other.time_wait_rejects;
@@ -274,6 +296,8 @@ impl Instrumented for TcpStats {
         out.counter("bytes_delivered", self.bytes_delivered);
         out.counter("bytes_sent", self.bytes_sent);
         out.counter("rto_giveups", self.rto_giveups);
+        out.counter("persist_probes_out", self.persist_probes_out);
+        out.counter("zero_window_stalls", self.zero_window_stalls);
         out.counter("keepalive_probes_out", self.keepalive_probes_out);
         out.counter("keepalive_giveups", self.keepalive_giveups);
         out.counter("time_wait_rejects", self.time_wait_rejects);
@@ -379,10 +403,13 @@ impl TcpConn {
             rto: SimTime::from_secs(1),
             rto_backoff: 0,
             consec_rtos: 0,
+            rto_recover: None,
             error: None,
             rtx_deadline: None,
             time_wait_deadline: None,
             rtt_probe: None,
+            persist_deadline: None,
+            persist_backoff: 0,
             ka_deadline: None,
             ka_probes_sent: 0,
             saw_time_wait: false,
@@ -553,6 +580,7 @@ impl TcpConn {
             self.rtx_deadline = None;
             self.ack_deadline = None;
             self.time_wait_deadline = None;
+            self.persist_deadline = None;
             self.ka_deadline = None;
         }
     }
@@ -575,6 +603,7 @@ impl TcpConn {
             self.rtx_deadline,
             self.ack_deadline,
             self.time_wait_deadline,
+            self.persist_deadline,
             self.ka_deadline,
         ]
         .into_iter()
@@ -596,11 +625,70 @@ impl TcpConn {
             self.rtx_deadline = None;
             self.on_rto(now);
         }
+        if self.persist_deadline.is_some_and(|d| d <= now) {
+            self.persist_deadline = None;
+            self.on_persist(now);
+        }
         if self.ka_deadline.is_some_and(|d| d <= now) {
             self.ka_deadline = None;
             self.on_keepalive(now);
         }
         self.emit(now);
+    }
+
+    /// True while the peer's zero window is the only thing stopping us
+    /// from transmitting: data (or a queued FIN) waits and nothing is in
+    /// flight to carry a window update back via its ACK.
+    fn zero_window_blocked(&self) -> bool {
+        self.snd_wnd == 0
+            && self.in_flight() == 0
+            && ((self.snd_nxt.wrapping_sub(self.snd_base) as usize) < self.snd_buf.len()
+                || (self.fin_queued && !self.fin_sent))
+    }
+
+    /// Arms (or re-arms) the persist timer with exponential backoff.
+    fn arm_persist(&mut self, now: SimTime) {
+        let interval = SimTime::from_ps(
+            self.cfg
+                .min_rto
+                .as_ps()
+                .saturating_mul(1u64 << self.persist_backoff.min(10)),
+        )
+        .min(SimTime::from_secs(60));
+        self.persist_deadline = Some(now + interval);
+    }
+
+    /// The persist timer fired: probe the zero-window peer. The probe is a
+    /// keepalive-shaped pure ACK one byte below the expected sequence — a
+    /// live receiver answers with a challenge ACK carrying its *current*
+    /// window, reopening the pipe the instant space exists. Unlike the RTO
+    /// path this never counts toward the dead-peer give-up budget: a
+    /// zero-window peer is alive by definition (it keeps answering), and
+    /// probing continues for as long as the stall does.
+    fn on_persist(&mut self, now: SimTime) {
+        if !matches!(
+            self.state,
+            TcpState::Established | TcpState::CloseWait | TcpState::FinWait1 | TcpState::LastAck
+        ) || !self.zero_window_blocked()
+        {
+            self.persist_backoff = 0;
+            return;
+        }
+        self.out.push(TcpSegment {
+            src_port: self.local.1,
+            dst_port: self.remote.1,
+            seq: self.snd_nxt.wrapping_sub(1),
+            ack: self.rcv_nxt,
+            flags: TcpFlags::ACK,
+            window: self.recv_window_field(),
+            mss: None,
+            wscale: None,
+            payload: Bytes::new(),
+            checksum_ok: true,
+        });
+        self.stats.persist_probes_out += 1;
+        self.persist_backoff = (self.persist_backoff + 1).min(10);
+        self.arm_persist(now);
     }
 
     /// The keepalive timer fired: probe the idle peer, or declare it dead
@@ -627,6 +715,7 @@ impl TcpConn {
             self.rtx_deadline = None;
             self.ack_deadline = None;
             self.time_wait_deadline = None;
+            self.persist_deadline = None;
             return;
         }
         // The probe is a pure ACK one byte *below* the expected sequence
@@ -678,6 +767,7 @@ impl TcpConn {
             self.rtx_deadline = None;
             self.ack_deadline = None;
             self.time_wait_deadline = None;
+            self.persist_deadline = None;
             self.ka_deadline = None;
             return;
         }
@@ -688,6 +778,11 @@ impl TcpConn {
         self.dupacks = 0;
         self.rto_backoff = (self.rto_backoff + 1).min(10);
         self.rtt_probe = None; // Karn's algorithm: no samples from rtx
+        // Everything between snd_una and snd_nxt is treated as lost:
+        // forward ACKs below this point drive go-back-N retransmission.
+        if self.in_flight() > 0 {
+            self.rto_recover = Some(self.snd_nxt);
+        }
         self.retransmit_head(now);
         self.arm_rtx(now);
     }
@@ -818,6 +913,7 @@ impl TcpConn {
             self.rtx_deadline = None;
             self.ack_deadline = None;
             self.time_wait_deadline = None;
+            self.persist_deadline = None;
             self.ka_deadline = None;
             return;
         }
@@ -920,8 +1016,13 @@ impl TcpConn {
                 let acked = ack.wrapping_sub(self.snd_una);
                 self.advance_una(ack);
                 self.dupacks = 0;
-                // Any forward ACK progress proves the peer is alive.
+                // Any forward ACK progress proves the peer is alive — and
+                // per RFC 6298 §5.7 the retransmission timer restarts with
+                // the *current* RTO, not the backed-off one (Karn keeps
+                // RTT samples away during recovery, so without this the
+                // backoff would double forever while making progress).
                 self.consec_rtos = 0;
+                self.rto_backoff = 0;
                 if let Some((probe_seq, sent_at)) = self.rtt_probe {
                     if seq_lt(probe_seq, ack) {
                         self.update_rtt((now - sent_at).as_secs_f64());
@@ -934,6 +1035,18 @@ impl TcpConn {
                 } else {
                     self.cwnd +=
                         (self.cfg.mss as f64 * self.cfg.mss as f64 / self.cwnd).max(1.0);
+                }
+                // Go-back-N recovery: a partial ACK below the recovery
+                // point means the next unacked segment died with the rest
+                // of the flight (crashed rings lose everything at once) —
+                // retransmit it on the ACK clock, one RTT apart, instead
+                // of one per doubled RTO.
+                if let Some(rec) = self.rto_recover {
+                    if seq_lt(self.snd_una, rec) {
+                        self.retransmit_head(now);
+                    } else {
+                        self.rto_recover = None;
+                    }
                 }
                 // Restart or clear the retransmission timer.
                 if self.in_flight() > 0 {
@@ -1025,6 +1138,7 @@ impl TcpConn {
         self.saw_time_wait = true;
         self.ka_deadline = None;
         self.rtx_deadline = None;
+        self.persist_deadline = None;
     }
 
     fn ingest_data(&mut self, seq: u32, mut payload: Bytes, _now: SimTime) {
@@ -1172,14 +1286,21 @@ impl TcpConn {
                 }
             }
             // Persist behaviour: the peer advertised a zero window and we
-            // still have data (or a FIN) to move — keep the retransmission
-            // timer armed; its firing acts as the window probe.
-            if self.snd_wnd == 0
-                && self.in_flight() == 0
-                && self.rtx_deadline.is_none()
-                && (self.snd_nxt.wrapping_sub(self.snd_base) as usize) < self.snd_buf.len()
-            {
-                self.arm_rtx(now);
+            // still have data (or a FIN) to move — arm the dedicated
+            // persist timer. Its probes elicit window updates without
+            // touching the RTO machinery, so a long flow-control stall can
+            // never masquerade as a dead peer (`TcpError::TimedOut`).
+            if self.zero_window_blocked() {
+                if self.persist_deadline.is_none() {
+                    if self.persist_backoff == 0 {
+                        self.stats.zero_window_stalls += 1;
+                    }
+                    self.arm_persist(now);
+                }
+            } else if self.persist_deadline.is_some() || self.persist_backoff != 0 {
+                // Window reopened (or everything was sent): stand down.
+                self.persist_deadline = None;
+                self.persist_backoff = 0;
             }
         }
         if self.need_ack_now && !sent_any {
@@ -1578,6 +1699,64 @@ mod tests {
             }
         }
         assert_eq!(got, data.len());
+    }
+
+    #[test]
+    fn zero_window_stall_probes_with_persist_timer_not_rto() {
+        // Fill b's receive buffer and never read: a stalls on a zero
+        // window. The stall must be carried by the persist timer — probes
+        // go out, the RTO give-up budget stays untouched — and the moment
+        // b drains, data flows again without the connection ever failing.
+        let mut h = Harness::new(TcpConfig::default(), SimTime::from_us(10), 0.0);
+        h.run_until(|h| h.a.state() == TcpState::Established, 50);
+        let data = vec![9u8; 600_000];
+        let mut sent = 0;
+        for _ in 0..10_000 {
+            if sent < data.len() {
+                sent += h.a.send(&data[sent..], h.now);
+            }
+            if h.a.stats().persist_probes_out >= 3 {
+                break;
+            }
+            if !h.step() {
+                break;
+            }
+        }
+        assert!(sent < data.len(), "flow control must stall the sender");
+        assert_eq!(h.a.stats().zero_window_stalls, 1, "one stall episode");
+        assert!(
+            h.a.stats().persist_probes_out >= 3,
+            "persist probes must fire during the stall (saw {})",
+            h.a.stats().persist_probes_out
+        );
+        assert_eq!(h.a.snd_wnd(), 0, "peer still advertises zero");
+        assert_eq!(
+            h.a.stats().timeouts,
+            0,
+            "a zero-window stall is not an RTO event"
+        );
+        assert!(h.a.error.is_none(), "stalled, not dead");
+
+        // Drain the receiver: the next probe's challenge ACK (or the
+        // half-buffer window update) reopens the pipe and the transfer
+        // completes.
+        let mut buf = [0u8; 65536];
+        let mut got = 0;
+        for _ in 0..100_000 {
+            if sent < data.len() {
+                sent += h.a.send(&data[sent..], h.now);
+            }
+            got += h.b.recv(&mut buf, h.now);
+            if got == data.len() {
+                break;
+            }
+            if !h.step() {
+                break;
+            }
+        }
+        assert_eq!(got, data.len(), "stall must end, not kill the flow");
+        assert!(h.a.error.is_none());
+        assert_eq!(h.a.stats().rto_giveups, 0);
     }
 
     #[test]

@@ -200,6 +200,22 @@ impl ProcCtx<'_> {
         self.stack.tcp_failed(sock)
     }
 
+    /// Why the connection died ([`tcp_failed`](Self::tcp_failed) with the
+    /// cause): `None` while healthy, `Some(TimedOut | PeerReset |
+    /// KeepaliveTimeout)` once terminal. Resilient clients key failover
+    /// policy off the variant.
+    pub fn tcp_error(&self, sock: SockId) -> Option<mcn_net::tcp::TcpError> {
+        self.stack.tcp_error(sock)
+    }
+
+    /// Peer-advertised receive window in bytes (`None` for unknown
+    /// handles). `Some(0)` means the peer is alive but full — persist
+    /// probes are in flight and a stalled request should *not* be treated
+    /// as a dead backend.
+    pub fn tcp_peer_window(&self, sock: SockId) -> Option<u32> {
+        self.stack.tcp_snd_wnd(sock)
+    }
+
     /// `close(2)`-and-forget for a connection the process is abandoning:
     /// aborts if still open and releases the slot immediately.
     pub fn tcp_drop(&mut self, sock: SockId) {

@@ -17,22 +17,39 @@
 //! * **Honest load** — open-loop heavy-tailed arrivals and skewed keys:
 //!   a slow server accumulates queueing delay in the measured latency
 //!   instead of quietly throttling the offered load.
+//! * **Replication across failure domains** — [`ReplicaMap`] places each
+//!   key shard's replicas in distinct correlated-outage domains (a riser,
+//!   a server), so a whole domain dying ([`mcn_sim::outage`]'s
+//!   `DomainDown`) leaves every shard a live copy. [`ResilientKvClient`]
+//!   rides the crash out with failover rotation, per-backend circuit
+//!   breakers ([`CircuitBreaker`]), token-bucket retry budgets
+//!   ([`RetryBudget`]), and deterministic hedged GETs — every request is
+//!   answered or loudly abandoned (`gave_up`), never silently lost, and
+//!   every recovery action is a `serve.*` counter.
 //!
 //! Everything is deterministic: same seed, same byte-identical
-//! full-registry snapshot at any `run_parallel` thread count. Results
-//! aggregate into a shared [`ServeReport`] whose fields are all
-//! commutative, so fleet-wide accounting stays order-insensitive.
+//! full-registry snapshot at any `run_parallel` thread count — failovers,
+//! hedge races, and breaker probes included, because they all run on the
+//! simulation clock from seeded per-client streams. Results aggregate
+//! into a shared [`ServeReport`] whose fields are all commutative, so
+//! fleet-wide accounting stays order-insensitive.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod kv;
+pub mod placement;
 pub mod report;
+pub mod resilient;
 
 pub use client::{KvClient, KvClientConfig};
 pub use kv::{parse_request, KvServer, KvServerConfig, Request};
+pub use placement::{Backend, ReplicaMap};
 pub use report::ServeReport;
+pub use resilient::{
+    BreakerConfig, CircuitBreaker, Pass, ResilientClientConfig, ResilientKvClient, RetryBudget,
+};
 
 #[cfg(test)]
 mod tests {

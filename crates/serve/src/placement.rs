@@ -1,0 +1,169 @@
+//! Domain-aware replica placement.
+//!
+//! A [`ReplicaMap`] spreads each key range across `R` backends placed in
+//! *distinct failure domains* (a domain is whatever crashes together: the
+//! DIMMs behind one server, one rack power feed — see
+//! [`mcn_sim::FailureDomain`]). A correlated outage then takes out at most
+//! one replica of any range, which is what lets the resilient client
+//! ([`crate::ResilientKvClient`]) answer every request across a mid-run
+//! domain crash.
+//!
+//! Placement is a pure function of the backend list and the range count —
+//! no RNG — so every client computes the identical map and the whole fleet
+//! agrees on who owns what without coordination.
+
+use std::net::Ipv4Addr;
+
+/// One KV backend: a server endpoint plus the failure domain it lives in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Backend {
+    /// Server address (a DIMM IP in the MCN rack).
+    pub addr: Ipv4Addr,
+    /// Server port.
+    pub port: u16,
+    /// Failure-domain name (matches the domain defined on the
+    /// [`OutagePlan`](mcn_sim::OutagePlan) so chaos and placement agree).
+    pub domain: String,
+}
+
+/// Replicated key-range placement over a backend fleet; see module docs.
+#[derive(Debug, Clone)]
+pub struct ReplicaMap {
+    backends: Vec<Backend>,
+    /// Backend indices per range, `r` entries each, distinct domains.
+    ranges: Vec<Vec<usize>>,
+}
+
+impl ReplicaMap {
+    /// Places `n_ranges` key ranges over `backends` with `r` replicas
+    /// each, every replica of a range in a different failure domain.
+    /// Ranges rotate over domains and over the backends inside each
+    /// domain, so load spreads evenly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backends` is empty, `r` is zero, or fewer than `r`
+    /// distinct domains exist (placement would have to co-locate
+    /// replicas, defeating the point).
+    pub fn new(backends: Vec<Backend>, n_ranges: usize, r: usize) -> Self {
+        assert!(!backends.is_empty(), "no backends");
+        assert!(r >= 1, "need at least one replica");
+        assert!(n_ranges >= 1, "need at least one range");
+        // Domains in first-appearance order (determinism needs no sort).
+        let mut domains: Vec<(&str, Vec<usize>)> = Vec::new();
+        for (i, b) in backends.iter().enumerate() {
+            match domains.iter_mut().find(|(d, _)| *d == b.domain) {
+                Some((_, members)) => members.push(i),
+                None => domains.push((&b.domain, vec![i])),
+            }
+        }
+        assert!(
+            domains.len() >= r,
+            "replication factor {r} needs {r} distinct failure domains, \
+             have {}",
+            domains.len()
+        );
+        let ranges = (0..n_ranges)
+            .map(|g| {
+                (0..r)
+                    .map(|j| {
+                        let (_, members) = &domains[(g + j) % domains.len()];
+                        // Divide before the inner mod so the domain pick
+                        // and the member pick decorrelate (both mod D
+                        // would pin every range to the same member).
+                        members[(g / domains.len()) % members.len()]
+                    })
+                    .collect()
+            })
+            .collect();
+        ReplicaMap { backends, ranges }
+    }
+
+    /// The range `key` belongs to.
+    pub fn range_of(&self, key: u32) -> usize {
+        key as usize % self.ranges.len()
+    }
+
+    /// Backend indices holding `key`, primary first; all in distinct
+    /// failure domains.
+    pub fn replicas_of(&self, key: u32) -> &[usize] {
+        &self.ranges[self.range_of(key)]
+    }
+
+    /// Backend `i`.
+    pub fn backend(&self, i: usize) -> &Backend {
+        &self.backends[i]
+    }
+
+    /// Number of backends.
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// True when the map has no backends (never constructed by
+    /// [`new`](Self::new)).
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+
+    /// Replication factor.
+    pub fn replication(&self) -> usize {
+        self.ranges[0].len()
+    }
+
+    /// Number of key ranges.
+    pub fn n_ranges(&self) -> usize {
+        self.ranges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet() -> Vec<Backend> {
+        // 2 servers x 2 DIMMs; domain = the server ("DIMM riser").
+        (0..4)
+            .map(|i| Backend {
+                addr: Ipv4Addr::new(10, 1 + i / 2, 0, 2 + i % 2),
+                port: 11211,
+                domain: format!("server{}", i / 2),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replicas_land_in_distinct_domains() {
+        let map = ReplicaMap::new(fleet(), 8, 2);
+        for key in 0..64u32 {
+            let reps = map.replicas_of(key);
+            assert_eq!(reps.len(), 2);
+            assert_ne!(
+                map.backend(reps[0]).domain,
+                map.backend(reps[1]).domain,
+                "key {key} replicated inside one domain"
+            );
+        }
+    }
+
+    #[test]
+    fn placement_balances_primaries() {
+        let map = ReplicaMap::new(fleet(), 8, 2);
+        let mut primaries = [0usize; 4];
+        for g in 0..8u32 {
+            primaries[map.replicas_of(g)[0]] += 1;
+        }
+        // 8 ranges over 4 backends: each backend is primary for 2.
+        assert_eq!(primaries, [2, 2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct failure domains")]
+    fn colocated_replication_is_refused() {
+        let mut one_domain = fleet();
+        for b in &mut one_domain {
+            b.domain = "pdu0".into();
+        }
+        ReplicaMap::new(one_domain, 8, 2);
+    }
+}

@@ -9,6 +9,13 @@
 //! [`RateMeter`]'s first/last timestamps) are deliberately absent — derive
 //! rates from byte counters and the fixed run window instead.
 //!
+//! For availability experiments the report can be given a *fault window*
+//! (the interval a failure domain is down). Requests are classified by
+//! their scheduled arrival time — a pure function of the seed, identical
+//! at any thread count — into in-window and steady-state histograms, so
+//! `BENCH_serving.json` can quote "p99 inside the outage vs steady state"
+//! from one run.
+//!
 //! [`RateMeter`]: mcn_sim::stats::RateMeter
 
 use std::sync::Arc;
@@ -48,6 +55,43 @@ pub struct ServeReport {
     pub conn_failures: u64,
     /// Clients that finished their request budget.
     pub completed_clients: u64,
+
+    // --- resilient-fleet accounting (ResilientKvClient) ---
+    /// Requests issued by resilient clients (the denominator for the
+    /// accounting identity `issued == answered + gave_up`).
+    pub issued: u64,
+    /// Requests re-sent to a replica after the serving backend failed
+    /// (connection death, breaker-open, or request timeout).
+    pub failovers: u64,
+    /// Hedged reads launched (second replica asked after the hedge delay).
+    pub hedges_launched: u64,
+    /// Hedged reads where the hedge answered first.
+    pub hedges_won: u64,
+    /// Retry-budget tokens spent on failovers.
+    pub retry_budget_spent: u64,
+    /// Failovers suppressed because the token bucket ran dry (the
+    /// retry-storm guard engaging).
+    pub retry_budget_exhausted: u64,
+    /// Circuit-breaker transitions into `Open`.
+    pub breaker_opens: u64,
+    /// Half-open probe requests sent through a recovering breaker.
+    pub breaker_half_open_probes: u64,
+    /// Requests abandoned after every recovery avenue was spent — loudly
+    /// counted, never silent.
+    pub gave_up: u64,
+
+    // --- fault-window availability (see module docs) ---
+    /// The interval a failure domain is scheduled to be down, or `None`
+    /// when the run has no planned outage.
+    pub fault_window: Option<(SimTime, SimTime)>,
+    /// Requests whose scheduled arrival fell inside the fault window.
+    pub fault_issued: u64,
+    /// In-window requests that got an answer (any verdict).
+    pub fault_answered: u64,
+    /// Latency of answered in-window requests.
+    pub fault_latency: Histogram,
+    /// Latency of answered steady-state (outside-window) requests.
+    pub steady_latency: Histogram,
 }
 
 impl ServeReport {
@@ -65,7 +109,45 @@ impl ServeReport {
             shed_conns: 0,
             conn_failures: 0,
             completed_clients: 0,
+            issued: 0,
+            failovers: 0,
+            hedges_launched: 0,
+            hedges_won: 0,
+            retry_budget_spent: 0,
+            retry_budget_exhausted: 0,
+            breaker_opens: 0,
+            breaker_half_open_probes: 0,
+            gave_up: 0,
+            fault_window: None,
+            fault_issued: 0,
+            fault_answered: 0,
+            fault_latency: Histogram::new(),
+            steady_latency: Histogram::new(),
         }))
+    }
+
+    /// Declares the planned outage interval so subsequent
+    /// [`note_issued`](Self::note_issued) / [`record_at`](Self::record_at)
+    /// calls classify requests into in-window vs steady state.
+    pub fn set_fault_window(&mut self, start: SimTime, end: SimTime) {
+        assert!(start <= end, "fault window must not be inverted");
+        self.fault_window = Some((start, end));
+    }
+
+    /// Whether `t` falls inside the declared fault window.
+    pub fn in_fault_window(&self, t: SimTime) -> bool {
+        self.fault_window
+            .is_some_and(|(s, e)| t >= s && t < e)
+    }
+
+    /// Records one issued request (resilient clients call this at the
+    /// scheduled arrival so `issued == answered + gave_up` holds at the
+    /// end of the run).
+    pub fn note_issued(&mut self, sched: SimTime) {
+        self.issued += 1;
+        if self.in_fault_window(sched) {
+            self.fault_issued += 1;
+        }
     }
 
     /// Records one completed request: latency from its scheduled arrival,
@@ -78,6 +160,34 @@ impl ServeReport {
             if latency <= self.slo {
                 self.under_slo += 1;
             }
+        }
+    }
+
+    /// [`record`](Self::record) plus fault-window classification by the
+    /// request's scheduled arrival time `sched`.
+    pub fn record_at(&mut self, sched: SimTime, latency: SimTime, ok: bool, bytes: u64) {
+        self.record(latency, ok, bytes);
+        if self.in_fault_window(sched) {
+            self.fault_answered += 1;
+            self.fault_latency.record(latency);
+        } else {
+            self.steady_latency.record(latency);
+        }
+    }
+
+    /// Records one abandoned request (never silent: the accounting
+    /// identity counts it against `issued`).
+    pub fn give_up_at(&mut self, _sched: SimTime) {
+        self.gave_up += 1;
+    }
+
+    /// Answered fraction over requests scheduled inside the fault window
+    /// (1.0 when no request fell in the window).
+    pub fn fault_availability(&self) -> f64 {
+        if self.fault_issued == 0 {
+            1.0
+        } else {
+            self.fault_answered as f64 / self.fault_issued as f64
         }
     }
 
@@ -95,7 +205,9 @@ impl ServeReport {
 
 impl Instrumented for ServeReport {
     /// Request counters plus the latency histogram (whose expansion carries
-    /// `p50_ps`/`p99_ps`/`p999_ps`).
+    /// `p50_ps`/`p99_ps`/`p999_ps`). The resilient-fleet and fault-window
+    /// metrics are always present (zero when unused) so registry shape
+    /// never depends on the scenario.
     fn metrics(&self, out: &mut MetricSink) {
         out.histogram("latency", &self.latency);
         out.counter("ok", self.ok);
@@ -107,5 +219,18 @@ impl Instrumented for ServeReport {
         out.counter("shed_conns", self.shed_conns);
         out.counter("conn_failures", self.conn_failures);
         out.counter("completed_clients", self.completed_clients);
+        out.counter("issued", self.issued);
+        out.counter("failovers", self.failovers);
+        out.counter("hedges_launched", self.hedges_launched);
+        out.counter("hedges_won", self.hedges_won);
+        out.counter("retry_budget_spent", self.retry_budget_spent);
+        out.counter("retry_budget_exhausted", self.retry_budget_exhausted);
+        out.counter("breaker_opens", self.breaker_opens);
+        out.counter("breaker_half_open_probes", self.breaker_half_open_probes);
+        out.counter("gave_up", self.gave_up);
+        out.counter("fault_issued", self.fault_issued);
+        out.counter("fault_answered", self.fault_answered);
+        out.histogram("fault_latency", &self.fault_latency);
+        out.histogram("steady_latency", &self.steady_latency);
     }
 }

@@ -50,7 +50,7 @@ pub use diag::StallReport;
 pub use engine::{Activity, Component, ComponentExt, Engine, EngineStats, Wakeup, WakeupIndex};
 pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use metrics::{Instrumented, MetricSink, MetricValue, MetricsSnapshot};
-pub use outage::{Backoff, OutageKind, OutagePlan, OutageSchedule};
+pub use outage::{Backoff, FailureDomain, OutageKind, OutagePlan, OutageSchedule};
 pub use pool::{FramePool, PoolStats};
 pub use shard::{Fabric, Outbox, ParallelEngine, Quantum, RunGoal, RunReport, Shard, ShardStats};
 pub use queue::{EventHandle, EventQueue};

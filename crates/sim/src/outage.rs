@@ -68,6 +68,16 @@ pub enum OutageKind {
         /// How long the node stays down.
         down_for: SimTime,
     },
+    /// A whole [`FailureDomain`] fails at once (a PDU trips, a DIMM riser
+    /// loses power, a ToR uplink bundle is cut): every member component
+    /// crashes at the same instant and heals together after `down_for`.
+    /// Scheduled against the *domain's* name; system crates expand the
+    /// membership into per-component events with identical timestamps, so
+    /// the whole domain lands atomically at one scheduler window boundary.
+    DomainDown {
+        /// How long the domain stays dark.
+        down_for: SimTime,
+    },
 }
 
 /// FNV-1a; stable component-name → fork-stream mapping (identical to the
@@ -81,15 +91,32 @@ fn stream_of(name: &str) -> u64 {
     h
 }
 
+/// A named group of component streams that fail *together*: all the DIMMs
+/// on one riser, every server behind one PDU, the servers sharing a ToR
+/// uplink bundle. A [`OutageKind::DomainDown`] event scheduled against the
+/// domain's name crashes and heals every member atomically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureDomain {
+    /// Domain name (free-form; also the component name its events are
+    /// scheduled against).
+    pub name: String,
+    /// Member component names (the same names individual outages use,
+    /// e.g. `server0.dimm1`, `server2.link`, `server3`).
+    pub members: Vec<String>,
+}
+
 /// A seeded, declarative schedule of hard failures for a whole system.
 ///
 /// Build one, declare events against *component names* (free-form strings;
 /// system crates document the names they query), then hand each component
-/// its slice with [`schedule`](Self::schedule).
+/// its slice with [`schedule`](Self::schedule). Correlated failures are
+/// declared by [defining a domain](Self::define_domain) and scheduling
+/// [`OutageKind::DomainDown`] against the domain's name.
 #[derive(Debug, Clone, Default)]
 pub struct OutagePlan {
     seed: u64,
     events: HashMap<String, Vec<(SimTime, OutageKind)>>,
+    domains: Vec<FailureDomain>,
 }
 
 impl OutagePlan {
@@ -98,6 +125,7 @@ impl OutagePlan {
         OutagePlan {
             seed,
             events: HashMap::new(),
+            domains: Vec::new(),
         }
     }
 
@@ -149,6 +177,81 @@ impl OutagePlan {
         OutageSchedule {
             events: events.into(),
         }
+    }
+
+    /// Defines (or redefines) a correlated [`FailureDomain`]: `members`
+    /// are the component names that fail together when a
+    /// [`OutageKind::DomainDown`] fires against `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty membership — a domain that groups nothing is
+    /// always a plan-authoring bug.
+    pub fn define_domain(&mut self, name: &str, members: &[&str]) -> &mut Self {
+        assert!(!members.is_empty(), "failure domain {name:?} has no members");
+        let domain = FailureDomain {
+            name: name.to_string(),
+            members: members.iter().map(|m| m.to_string()).collect(),
+        };
+        match self.domains.iter_mut().find(|d| d.name == name) {
+            Some(d) => *d = domain,
+            None => self.domains.push(domain),
+        }
+        self
+    }
+
+    /// The defined domains, in declaration order.
+    pub fn domains(&self) -> &[FailureDomain] {
+        &self.domains
+    }
+
+    /// Looks up a domain by name.
+    pub fn domain(&self, name: &str) -> Option<&FailureDomain> {
+        self.domains.iter().find(|d| d.name == name)
+    }
+
+    /// Schedules a correlated crash of the whole domain at `at`, healing
+    /// after `down_for`. Sugar for `at(name, at, DomainDown { down_for })`
+    /// with a membership check.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` was not [defined](Self::define_domain) first.
+    pub fn domain_crash(&mut self, name: &str, at: SimTime, down_for: SimTime) -> &mut Self {
+        assert!(
+            self.domain(name).is_some(),
+            "domain {name:?} not defined; call define_domain first"
+        );
+        self.at(name, at, OutageKind::DomainDown { down_for })
+    }
+
+    /// Schedules `count` correlated crashes of domain `name` at
+    /// deterministic random times in `window`, each down for a random
+    /// duration in `down`. Times draw from the domain's own forked stream
+    /// (same scheme as [`random_crashes`](Self::random_crashes)), so domain
+    /// chaos never perturbs any component's independent schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` was not [defined](Self::define_domain) first.
+    pub fn random_domain_crashes(
+        &mut self,
+        name: &str,
+        count: usize,
+        window: (SimTime, SimTime),
+        down: (SimTime, SimTime),
+    ) -> &mut Self {
+        assert!(
+            self.domain(name).is_some(),
+            "domain {name:?} not defined; call define_domain first"
+        );
+        let mut rng = DetRng::new(self.seed).fork(stream_of(name));
+        for _ in 0..count {
+            let at = SimTime::from_ps(rng.range(window.0.as_ps(), window.1.as_ps()));
+            let down_for = SimTime::from_ps(rng.range(down.0.as_ps(), down.1.as_ps()));
+            self.at(name, at, OutageKind::DomainDown { down_for });
+        }
+        self
     }
 
     /// The component names with at least one event.
@@ -335,6 +438,76 @@ mod tests {
         let s = plan.schedule("anything");
         assert!(s.is_empty());
         assert_eq!(s.next_at(), None);
+    }
+
+    #[test]
+    fn domain_events_schedule_against_the_domain_name() {
+        let mut plan = OutagePlan::new(3);
+        plan.define_domain("rack.pdu0", &["server0", "server1"]);
+        plan.domain_crash("rack.pdu0", SimTime::from_ms(1), SimTime::from_ms(2));
+        assert_eq!(
+            plan.domain("rack.pdu0").unwrap().members,
+            vec!["server0".to_string(), "server1".to_string()]
+        );
+        assert!(plan.domain("other").is_none());
+        let mut s = plan.schedule("rack.pdu0");
+        let due = s.pop_due(SimTime::from_secs(1));
+        assert_eq!(due.len(), 1);
+        assert_eq!(
+            due[0],
+            (
+                SimTime::from_ms(1),
+                OutageKind::DomainDown {
+                    down_for: SimTime::from_ms(2)
+                }
+            )
+        );
+        // Members have no events of their own: expansion is the system
+        // crate's job, keyed off the membership.
+        assert!(plan.schedule("server0").is_empty());
+        // Redefinition replaces the membership in place.
+        plan.define_domain("rack.pdu0", &["server0"]);
+        assert_eq!(plan.domains().len(), 1);
+        assert_eq!(plan.domain("rack.pdu0").unwrap().members, vec!["server0"]);
+    }
+
+    #[test]
+    fn random_domain_crashes_replay_and_fork_independently() {
+        let mk = |seed| {
+            let mut plan = OutagePlan::new(seed);
+            plan.define_domain("pdu", &["a", "b"]);
+            plan.random_domain_crashes(
+                "pdu",
+                3,
+                (SimTime::from_ms(1), SimTime::from_ms(10)),
+                (SimTime::from_us(100), SimTime::from_ms(1)),
+            );
+            // A component's independent stream is untouched by domain chaos.
+            plan.random_crashes(
+                "a",
+                2,
+                (SimTime::from_ms(1), SimTime::from_ms(10)),
+                (SimTime::from_us(100), SimTime::from_ms(1)),
+            );
+            plan
+        };
+        let times = |p: &OutagePlan, c: &str| p.schedule(c).pop_due(SimTime::from_secs(1));
+        let p1 = mk(5);
+        let p2 = mk(5);
+        assert_eq!(times(&p1, "pdu"), times(&p2, "pdu"), "same seed replays");
+        assert_ne!(times(&p1, "pdu"), times(&p1, "a"), "independent streams");
+        let p3 = mk(6);
+        assert_ne!(times(&p1, "pdu"), times(&p3, "pdu"), "seed changes schedule");
+        assert!(times(&p1, "pdu")
+            .iter()
+            .all(|(_, k)| matches!(k, OutageKind::DomainDown { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "not defined")]
+    fn domain_crash_requires_definition() {
+        let mut plan = OutagePlan::new(1);
+        plan.domain_crash("ghost", SimTime::from_ms(1), SimTime::from_ms(1));
     }
 
     #[test]

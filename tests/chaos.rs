@@ -65,7 +65,11 @@ fn dimm_crash_and_reboot_keeps_tcp_byte_complete() {
     let mut sent = 0;
     let mut got = Vec::new();
     let mut buf = vec![0u8; 65536];
-    let mut pacing = pace(SimTime::from_us(500), 20_000);
+    // Drain often enough that the sender streams continuously instead of
+    // parking in a zero-window stall: the crash must land with data in
+    // flight, or nothing dies in the rings and the persist timer (not
+    // retransmission) would repair the stream.
+    let mut pacing = pace(SimTime::from_us(20), 500_000);
     let done = sys.run_with_backoff(&mut pacing, |sys| {
         let now = sys.now();
         if sent < data.len() {

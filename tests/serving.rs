@@ -30,9 +30,13 @@ use mcn::{
 };
 use mcn_net::tcp::{TcpConfig, TcpState};
 use mcn_net::{
-    EthernetFrame, IpProto, Ipv4Packet, MacAddr, NetConfig, NetStack, TcpFlags, TcpSegment,
+    EthernetFrame, IpProto, Ipv4Packet, MacAddr, NetConfig, NetStack, SockId, TcpFlags, TcpSegment,
 };
-use mcn_serve::{KvClient, KvClientConfig, KvServer, KvServerConfig, ServeReport};
+use mcn_node::{Poll, ProcCtx, Process, Wake};
+use mcn_serve::{
+    parse_request, Backend, KvClient, KvClientConfig, KvServer, KvServerConfig, ReplicaMap,
+    Request, ResilientClientConfig, ResilientKvClient, ServeReport,
+};
 use mcn_sim::{OutageKind, OutagePlan, SimTime};
 use parking_lot::Mutex;
 
@@ -432,4 +436,264 @@ fn chaos_mix_serving_is_thread_count_invariant() {
     // half-open connection dead instead of letting the client hang.
     assert_eq!(serial.3, 4, "every client must finish despite the chaos");
     assert!(serial.1.contains("\"root.srv1.host.stack.tcp.keepalive_giveups\": 1"));
+}
+
+// ---------------------------------------------------------------------------
+// Resilient replicated serving (ISSUE 8).
+
+/// A KV server that accepts connections but reads *nothing* until
+/// `resume_at`: its receive buffer fills and TCP advertises a zero window
+/// to the fleet. After `resume_at` it drains and answers normally — the
+/// stall was backpressure, never death.
+struct StallServer {
+    port: u16,
+    resume_at: SimTime,
+    lst: Option<SockId>,
+    conns: Vec<(SockId, Vec<u8>)>,
+}
+
+impl StallServer {
+    fn new(port: u16, resume_at: SimTime) -> Self {
+        StallServer {
+            port,
+            resume_at,
+            lst: None,
+            conns: Vec::new(),
+        }
+    }
+}
+
+impl Process for StallServer {
+    fn poll(&mut self, ctx: &mut ProcCtx<'_>) -> Poll {
+        let lst = *self.lst.get_or_insert_with(|| ctx.tcp_listen(self.port));
+        while let Some(s) = ctx.tcp_accept(lst) {
+            self.conns.push((s, Vec::new()));
+        }
+        let mut wakes = vec![Wake::Sock(lst)];
+        if ctx.now < self.resume_at {
+            // Stall phase: the stack keeps ACKing (it buffers what fits),
+            // but the application never reads, so the advertised window
+            // shrinks to zero and the senders must wait on persist probes.
+            wakes.push(Wake::Timer(self.resume_at));
+            return Poll::Wait(wakes);
+        }
+        let mut buf = [0u8; 65536];
+        self.conns.retain_mut(|(s, pending)| {
+            loop {
+                let n = ctx.tcp_recv(*s, &mut buf);
+                if n == 0 {
+                    break;
+                }
+                pending.extend_from_slice(&buf[..n]);
+            }
+            while let Some((req, used)) = parse_request(pending) {
+                pending.drain(..used);
+                match req {
+                    Request::Set { .. } => ctx.tcp_send(*s, b"K\n"),
+                    Request::Get { .. } => ctx.tcp_send(*s, b"M\n"),
+                };
+            }
+            if ctx.tcp_at_eof(*s) || ctx.tcp_failed(*s) {
+                ctx.tcp_close(*s);
+                false
+            } else {
+                true
+            }
+        });
+        for (s, _) in &self.conns {
+            wakes.push(Wake::Sock(*s));
+        }
+        Poll::Wait(wakes)
+    }
+
+    fn name(&self) -> &str {
+        "stall-server"
+    }
+}
+
+#[test]
+fn zero_window_stall_waits_on_persist_probes_without_spurious_failover() {
+    // A stalled-but-alive server is the failure-detection trap: it stops
+    // answering (looks dead to a naive timeout) while its stack still
+    // ACKs (is provably alive). The resilient client must classify it as
+    // backpressure — wait on TCP persist probing, spend no retry budget,
+    // open no breaker, fail over to nobody — and complete once the
+    // server drains.
+    let report = ServeReport::shared(SimTime::from_us(500));
+    let mut sys = McnSystem::new(&SystemConfig::default(), 1, McnConfig::level(3));
+    let dimm_ip = sys.dimm_ip(0);
+    sys.spawn_dimm(
+        0,
+        Box::new(StallServer::new(7000, SimTime::from_ms(300))),
+        0,
+    );
+    let map = ReplicaMap::new(
+        vec![Backend {
+            addr: dimm_ip,
+            port: 7000,
+            domain: "riser0".into(),
+        }],
+        1,
+        1,
+    );
+    let mut cfg = ResilientClientConfig::new(map);
+    cfg.seed = 0x5A;
+    cfg.n_requests = 8;
+    cfg.mean_gap = SimTime::from_us(20);
+    cfg.keyspace = 8;
+    cfg.set_pct = 100; // writes: big payloads that fill the stalled buffer
+    cfg.val_len = 60_000;
+    cfg.pipeline = 8;
+    cfg.hedge_delay = None;
+    // The stall (300 ms) far exceeds the soft timeout (2 ms): without the
+    // zero-window suppression every request would burn its whole retry
+    // budget against the only replica. The hard deadline must outlive the
+    // stall, or the requests are *correctly* abandoned.
+    cfg.give_up_after = SimTime::from_ms(600);
+    sys.spawn_host(Box::new(ResilientKvClient::new(cfg, report.clone())), 0);
+    sys.run_until(SimTime::from_ms(800));
+
+    let snap = MetricsSnapshot::collect(&sys);
+    assert!(
+        snap.get_u64("host.stack.tcp.zero_window_stalls") >= 1,
+        "the stall must have closed the advertised window"
+    );
+    assert!(
+        snap.get_u64("host.stack.tcp.persist_probes_out") >= 1,
+        "the stall must be carried by persist probes"
+    );
+    assert_eq!(
+        snap.get_u64("host.stack.tcp.rto_giveups"),
+        0,
+        "backpressure must never be declared a dead peer"
+    );
+    let rep = report.lock();
+    assert_eq!(rep.completed_clients, 1, "the client must finish");
+    assert_eq!(
+        rep.failovers, 0,
+        "zero-window backpressure must not be mistaken for a dead backend"
+    );
+    assert_eq!(rep.breaker_opens, 0, "no breaker may open on backpressure");
+    assert_eq!(rep.retry_budget_spent, 0, "no retry tokens spent");
+    assert_eq!(rep.gave_up, 0, "every request completes after the drain");
+    assert_eq!(rep.conn_failures, 0, "the connection never died");
+    assert_eq!(
+        rep.issued,
+        rep.latency.count(),
+        "accounting identity: everything issued was answered"
+    );
+}
+
+#[test]
+fn replicated_failover_is_thread_count_invariant() {
+    // The full resilient tier — R=2 replication across two DIMM-riser
+    // failure domains, hedging and non-hedging clients, a mid-run domain
+    // crash — must produce a byte-identical full-registry snapshot at 1,
+    // 2 and 4 threads, with failover provably engaged and no request
+    // lost silently. Hedges, retries and breaker probes all draw on
+    // per-client seeded RNGs and window-boundary outage application, so
+    // thread count must be unobservable.
+    let riser = |s: usize| format!("riser{s}");
+    let mut plan = OutagePlan::new(0xFA11);
+    for s in 0..2 {
+        plan.define_domain(
+            &riser(s),
+            &[
+                &McnRack::dimm_outage_component(s, 0),
+                &McnRack::dimm_outage_component(s, 1),
+            ],
+        );
+    }
+    plan.at(
+        &riser(0),
+        SimTime::from_ms(2),
+        OutageKind::DomainDown {
+            down_for: SimTime::from_ms(4),
+        },
+    );
+
+    let run = |threads: usize| {
+        let report = ServeReport::shared(SimTime::from_us(500));
+        report
+            .lock()
+            .set_fault_window(SimTime::from_ms(2), SimTime::from_ms(6));
+        let mut rack = McnRack::new(&SystemConfig::default(), 2, 2, McnConfig::level(3));
+        let mut backends = Vec::new();
+        for s in 0..2 {
+            for d in 0..2 {
+                rack.spawn_dimm(
+                    s,
+                    d,
+                    Box::new(KvServer::new(KvServerConfig::default(), report.clone())),
+                    0,
+                );
+                backends.push(Backend {
+                    addr: rack.server(s).dimm_ip(d),
+                    port: 11211,
+                    domain: riser(s),
+                });
+            }
+        }
+        let map = ReplicaMap::new(backends, 8, 2);
+        for s in 0..2 {
+            for c in 0..2u64 {
+                let i = s as u64 * 2 + c;
+                let mut cfg = ResilientClientConfig::new(map.clone());
+                cfg.seed = 0xF00 + i;
+                cfg.n_requests = 120;
+                cfg.mean_gap = SimTime::from_us(40);
+                cfg.keyspace = 256;
+                cfg.set_pct = 20;
+                cfg.retry_budget = 32;
+                cfg.retry_earn_tenths = 5;
+                if i % 2 == 1 {
+                    cfg.hedge_delay = None;
+                }
+                rack.spawn_host(
+                    s,
+                    Box::new(ResilientKvClient::new(cfg, report.clone())),
+                    (c % 2) as usize,
+                );
+            }
+        }
+        rack.set_outage_plan(&plan);
+        rack.run_parallel(SimTime::from_ms(40), threads);
+        let mut sink = MetricSink::new();
+        sink.absorb("root", &rack);
+        sink.absorb("serve", &*report.lock());
+        let rep = report.lock();
+        (
+            rack.now(),
+            sink.finish().to_json(),
+            rep.failovers,
+            rep.issued,
+            rep.latency.count() + rep.gave_up,
+        )
+    };
+
+    let serial = run(1);
+    for threads in [2, 4] {
+        let threaded = run(threads);
+        assert_eq!(
+            (&serial.0, &serial.1),
+            (&threaded.0, &threaded.1),
+            "{threads}-thread replicated failover run diverged from serial"
+        );
+    }
+    assert!(
+        serial.2 > 0,
+        "the domain crash must have engaged failover (serve.failovers)"
+    );
+    assert_eq!(
+        serial.3, serial.4,
+        "silent request loss: issued != answered + gave_up"
+    );
+    assert!(
+        serial.1.contains("\"root.rack.outage.domain.riser0.crashes\": 1"),
+        "the domain crash must be visible in the snapshot"
+    );
+    assert!(
+        serial.1.contains("\"root.rack.outage.domain.riser0.heals\": 1"),
+        "the domain heal must be visible in the snapshot"
+    );
 }
