@@ -97,10 +97,11 @@ fn build_workload() -> (McnRack, Report) {
                 addr: rack.server(s).dimm_ip(d),
                 port: 11211,
                 domain: riser(s),
+                rack: 0,
             });
         }
     }
-    let map = ReplicaMap::new(backends, 8, 2);
+    let map = ReplicaMap::new(backends, 8, 2).expect("placement");
 
     for s in 0..SERVERS {
         for c in 0..CLIENTS_PER_SERVER {

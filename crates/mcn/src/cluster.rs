@@ -18,14 +18,15 @@ use std::net::Ipv4Addr;
 use mcn_net::link::{Link, Switch};
 use mcn_net::tcp::TcpConfig;
 use mcn_net::{EthernetFrame, MacAddr, NetConfig};
-use mcn_node::nic::{Nic, NicConfig, NicEvent, NIC_WAITER};
-use mcn_node::{CostModel, Node, ProcId, Process};
+use mcn_node::nic::{Nic, NicConfig, NIC_WAITER};
+use mcn_node::{CostModel, MemorySystem, Node, ProcId, Process};
 use mcn_sim::metrics::{Instrumented, MetricSink};
 use mcn_sim::{
-    Activity, Component, EngineStats, Fabric, Outbox, ParallelEngine, Quantum, RunGoal, RunReport,
-    Shard, SimTime, StallReport, Wakeup,
+    Activity, Component, EngineStats, Fabric, ParallelEngine, Quantum, RunGoal, RunReport, Shard,
+    SimTime, StallReport, Wakeup,
 };
 
+use crate::block::{route_switched, Endpoint, EndpointBlock, OpenSwitch};
 use crate::config::SystemConfig;
 
 /// One baseline node: a host-class machine plus its NIC.
@@ -40,164 +41,75 @@ pub struct ClusterNode {
 /// The cluster issues no control commands; its shards only exchange
 /// frames.
 #[derive(Debug)]
-enum NoCmd {}
+pub(crate) enum NoCmd {}
 
-/// One shard of the cluster: a node, its NIC, and its up/down links.
-#[derive(Debug)]
-struct NodeBlock {
-    cn: ClusterNode,
-    up: Link,
-    down: Link,
-    /// Block-local clock: the last event time processed.
-    clock: SimTime,
-    /// Event-loop accounting for this block.
-    stats: EngineStats,
-    /// Recycled buffers for the per-tick NIC/link drains.
-    nic_events: Vec<NicEvent>,
-    frame_scratch: Vec<EthernetFrame>,
-}
+impl Endpoint for ClusterNode {
+    type Cmd = NoCmd;
 
-impl NodeBlock {
-    /// One round of progress at time `t`: memory completions, the NIC
-    /// pipeline, the uplink into the switch (emissions go to `outbox`),
-    /// the downlink, stack timers/processes, and outbound frames.
-    fn advance_block(&mut self, t: SimTime, outbox: &mut Outbox<EthernetFrame>) -> bool {
-        let mut changed = false;
+    fn wire(&mut self) -> (&mut Nic, &mut MemorySystem) {
+        (&mut self.nic, &mut self.node.mem)
+    }
+
+    fn nic(&self) -> &Nic {
+        &self.nic
+    }
+
+    fn advance_pre(&mut self, t: SimTime) -> bool {
         // Memory completions → NIC DMA bookkeeping.
-        let foreign = self.cn.node.advance_mem(t);
-        for (waiter, job) in foreign {
+        let mut changed = false;
+        for (waiter, job) in self.node.advance_mem(t) {
             debug_assert_eq!(waiter, NIC_WAITER);
-            self.cn
-                .nic
-                .on_job_done(job, t, &mut self.cn.node.cpus, &self.cn.node.cost, false);
-            changed = true;
-        }
-        // NIC pipeline events (drained through the block's recycled
-        // buffer: this loop runs every fixed-point round).
-        let mut evs = std::mem::take(&mut self.nic_events);
-        self.cn.nic.advance_into(t, &mut self.cn.node.mem, &mut evs);
-        for ev in evs.drain(..) {
-            changed = true;
-            match ev {
-                NicEvent::TxWire(frame) => self.up.send(frame, t),
-                NicEvent::RxDeliver(frame) => {
-                    self.cn.node.stack.on_frame(0, frame, t);
-                    self.cn.node.drain_stack_events();
-                }
-            }
-        }
-        self.nic_events = evs;
-        // Frames reaching the switch leave the shard; the coordinator
-        // routes them at the next barrier.
-        let mut frames = std::mem::take(&mut self.frame_scratch);
-        self.up.poll_into(t, &mut frames);
-        for frame in frames.drain(..) {
-            changed = true;
-            outbox.emit(t, frame);
-        }
-        // Frames arriving from the switch.
-        self.down.poll_into(t, &mut frames);
-        for frame in frames.drain(..) {
-            changed = true;
-            self.cn.nic.wire_rx(frame, t, &mut self.cn.node.mem);
-        }
-        self.frame_scratch = frames;
-        // Stack timers, processes, outbound frames.
-        self.cn.node.service_stack(t);
-        if self.cn.node.run_procs(t) {
-            changed = true;
-        }
-        while let Some(frame) = self.cn.node.stack.poll_output(0) {
-            // TX protocol processing (checksum offloaded), then the
-            // driver handoff.
-            let proto = mcn_node::nic::tx_protocol_cost(&self.cn.node.cost, &frame, false);
-            let core = self.cn.node.cpus.least_loaded();
-            let (_, end) = self.cn.node.cpus.run_on(core, t, proto);
-            self.cn
-                .nic
-                .xmit(frame, end, core, &mut self.cn.node.cpus, &self.cn.node.cost);
+            self.nic
+                .on_job_done(job, t, &mut self.node.cpus, &self.node.cost, false);
             changed = true;
         }
         changed
     }
-}
 
-impl Shard for NodeBlock {
-    type Frame = EthernetFrame;
-    type Cmd = NoCmd;
-
-    fn next_event(&mut self) -> Option<SimTime> {
-        [
-            self.cn.node.next_wakeup(),
-            self.cn.nic.next_wakeup(),
-            self.up.next_wakeup(),
-            self.down.next_wakeup(),
-        ]
-        .into_iter()
-        .flatten()
-        .min()
-        .map(|t| t.max(self.clock))
+    fn advance_post(&mut self, t: SimTime) -> bool {
+        // Stack timers, processes, outbound frames.
+        self.node.service_stack(t);
+        let mut changed = self.node.run_procs(t);
+        while let Some(frame) = self.node.stack.poll_output(0) {
+            // TX protocol processing (checksum offloaded), then the
+            // driver handoff.
+            let proto = mcn_node::nic::tx_protocol_cost(&self.node.cost, &frame, false);
+            let core = self.node.cpus.least_loaded();
+            let (_, end) = self.node.cpus.run_on(core, t, proto);
+            self.nic
+                .xmit(frame, end, core, &mut self.node.cpus, &self.node.cost);
+            changed = true;
+        }
+        changed
     }
 
-    fn next_emission(&mut self) -> Option<SimTime> {
-        // Same bound as the rack's server block: in-flight uplink frames
-        // as-is, staged NIC TX plus uplink propagation, anything else
-        // pays PCIe plus the uplink from its first local event.
-        let up_lat = self.up.latency();
-        let pcie = self.cn.nic.pcie_latency();
-        [
-            self.up.next_arrival(),
-            self.cn.nic.earliest_tx_staged().map(|t| t + up_lat),
-            Shard::next_event(self).map(|t| t + pcie + up_lat),
-        ]
-        .into_iter()
-        .flatten()
-        .min()
+    fn rx(&mut self, frame: EthernetFrame, t: SimTime) {
+        self.node.stack.on_frame(0, frame, t);
+        self.node.drain_stack_events();
     }
 
-    fn turnaround(&self) -> SimTime {
-        self.down.latency() + self.cn.nic.pcie_latency() + self.up.latency()
+    fn next_wakeup(&mut self) -> Option<SimTime> {
+        self.node.next_wakeup()
     }
 
-    fn apply(&mut self, _at: SimTime, cmd: NoCmd) {
+    fn apply(&mut self, _at: SimTime, cmd: NoCmd, _link_up: &mut bool) {
         match cmd {}
     }
 
-    fn deliver(&mut self, at: SimTime, frame: EthernetFrame) {
-        self.down.send(frame, at);
-    }
-
-    fn run_window(&mut self, end: SimTime, outbox: &mut Outbox<EthernetFrame>) -> u64 {
-        let mut steps = 0;
-        while let Some(t) = Shard::next_event(self) {
-            if t > end {
-                break;
-            }
-            self.clock = t;
-            steps += 1;
-            self.stats.advances.inc();
-            let mut iters = 0u32;
-            loop {
-                self.stats.component_polls.inc();
-                if !self.advance_block(t, outbox) {
-                    break;
-                }
-                self.stats.rounds.inc();
-                iters += 1;
-                if iters >= 100_000 {
-                    panic!("node block did not converge at {t}");
-                }
-            }
-        }
-        steps
-    }
-
     fn procs_done(&self) -> bool {
-        self.cn.node.runner.all_done()
+        self.node.runner.all_done()
+    }
+
+    fn stall_panic(&self, t: SimTime) -> String {
+        format!("node block did not converge at {t}")
     }
 }
 
-/// The coordinator-side boundary for the cluster: just the switch.
+/// One shard of the cluster: a node behind the shared wire pipeline.
+type NodeBlock = EndpointBlock<ClusterNode>;
+
+/// The coordinator-side boundary for the cluster: just the switch, with
+/// no admission restrictions.
 struct ClusterFabric<'a> {
     switch: &'a mut Switch,
 }
@@ -216,10 +128,7 @@ impl Fabric<NodeBlock> for ClusterFabric<'_> {
         frame: EthernetFrame,
         out: &mut Vec<(usize, SimTime, EthernetFrame)>,
     ) {
-        let fwd_at = at + self.switch.forward_latency;
-        for p in self.switch.route(&frame, from) {
-            out.push((p, fwd_at, frame.clone()));
-        }
+        route_switched(self.switch, &mut OpenSwitch, from, at, frame, out);
     }
 }
 
@@ -294,15 +203,7 @@ impl EthernetCluster {
             switch,
             blocks: nodes
                 .into_iter()
-                .map(|cn| NodeBlock {
-                    cn,
-                    up: mk_link(),
-                    down: mk_link(),
-                    clock: SimTime::ZERO,
-                    stats: EngineStats::default(),
-                    nic_events: Vec::new(),
-                    frame_scratch: Vec::new(),
-                })
+                .map(|cn| EndpointBlock::new(cn, mk_link(), mk_link()))
                 .collect(),
             sched: ParallelEngine::new(quantum),
         }
@@ -337,13 +238,13 @@ impl EthernetCluster {
 
     /// Access node `i`.
     pub fn node(&self, i: usize) -> &ClusterNode {
-        &self.blocks[i].cn
+        &self.blocks[i].ep
     }
 
     /// Mutable access to node `i` (e.g. to bind sockets or spawn work;
     /// the scheduler re-queries every block's deadline each window).
     pub fn node_mut(&mut self, i: usize) -> &mut ClusterNode {
-        &mut self.blocks[i].cn
+        &mut self.blocks[i].ep
     }
 
     /// Current simulated time.
@@ -364,7 +265,7 @@ impl EthernetCluster {
 
     /// All processes on all nodes finished?
     pub fn all_procs_done(&self) -> bool {
-        self.blocks.iter().all(|b| b.cn.node.runner.all_done())
+        self.blocks.iter().all(|b| b.ep.node.runner.all_done())
     }
 
     /// Earliest pending activity across the node blocks.
@@ -382,17 +283,17 @@ impl EthernetCluster {
         let mut r =
             StallReport::new(format!("{title} (cluster of {} @ {})", self.len(), self.now));
         for (i, b) in self.blocks.iter().enumerate() {
-            for line in b.cn.node.runner.stalled_procs() {
+            for line in b.ep.node.runner.stalled_procs() {
                 r.line(&format!("node{i} procs"), line);
             }
-            for line in b.cn.node.stack.socket_states() {
+            for line in b.ep.node.stack.socket_states() {
                 r.line(&format!("node{i} sockets"), line);
             }
             r.line(
                 "wire",
                 format!(
                     "node{i}: nic_next={:?} up_next={:?} down_next={:?}",
-                    b.cn.nic.next_event(),
+                    b.ep.nic.next_event(),
                     b.up.next_arrival(),
                     b.down.next_arrival()
                 ),
@@ -465,8 +366,8 @@ impl Instrumented for EthernetCluster {
         out.absorb("switch", &self.switch);
         for (i, b) in self.blocks.iter().enumerate() {
             out.scoped(&format!("node{i}"), |out| {
-                b.cn.node.metrics(out);
-                out.absorb("nic", &b.cn.nic);
+                b.ep.node.metrics(out);
+                out.absorb("nic", &b.ep.nic);
             });
             out.scoped(&format!("link{i}"), |out| {
                 out.absorb("up", &b.up);

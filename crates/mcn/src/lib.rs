@@ -47,11 +47,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod block;
 pub mod cluster;
 pub mod config;
 pub mod dimm;
 pub mod driver;
 pub mod error;
+pub mod fabric;
 pub mod rack;
 pub mod sram;
 pub mod system;
@@ -61,6 +63,7 @@ pub use config::{McnConfig, SystemConfig};
 pub use dimm::McnDimm;
 pub use driver::HostDriver;
 pub use error::{McnError, McnSide};
+pub use fabric::{ClosConfig, Datacenter};
 pub use rack::McnRack;
 pub use sram::SramBuffer;
 

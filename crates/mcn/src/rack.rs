@@ -15,26 +15,38 @@
 //!
 //! Each server block (the [`McnSystem`], its NIC, and its up/down links)
 //! is one [`Shard`] of the quantum-synchronized scheduler in
-//! [`mcn_sim::shard`]: the ToR switch is the only cross-shard boundary,
-//! and any frame leaving a server pays the switch forwarding latency
-//! plus the downlink propagation latency before it can touch another
-//! server — that path is the synchronization [`Quantum`]. The same
-//! windowed algorithm drives the rack whether
-//! [`run_parallel`](McnRack::run_parallel) is given one thread or many,
-//! so serial and parallel runs produce byte-identical metric snapshots.
+//! [`mcn_sim::shard`] — the generic wrapper lives in `crate::block`
+//! and is shared with the baseline cluster and the Clos fabric. The ToR
+//! switch is the only cross-shard boundary, and any frame leaving a
+//! server pays the switch forwarding latency plus the downlink
+//! propagation latency before it can touch another server — that path is
+//! the synchronization [`Quantum`]. The same windowed algorithm drives
+//! the rack whether [`run_parallel`](McnRack::run_parallel) is given one
+//! thread or many, so serial and parallel runs produce byte-identical
+//! metric snapshots.
+//!
+//! # Datacenter mode
+//!
+//! Inside a [`Datacenter`](crate::fabric::Datacenter) the rack gains a
+//! fabric uplink: frames the host stacks resolve to the well-known
+//! [gateway MAC](McnSystem::GATEWAY_MAC) (remote-rack `192.168.r.x`
+//! addresses, via the `/16` gateway route) are claimed at the ToR and
+//! handed upward instead of being switched locally, and frames arriving
+//! from the fabric are re-addressed to the owning server's NIC and sent
+//! down its link. A standalone rack never sees either path.
 
 use mcn_net::link::{Link, Switch};
 use mcn_net::EthernetFrame;
-use mcn_node::nic::{Nic, NicConfig, NicEvent, NIC_WAITER};
-use mcn_node::ProcId;
-use mcn_node::Process;
+use mcn_node::nic::{Nic, NicConfig, NIC_WAITER};
+use mcn_node::{MemorySystem, ProcId, Process};
 use mcn_sim::metrics::{Instrumented, MetricSink};
 use mcn_sim::stats::Counter;
 use mcn_sim::{
-    Activity, Component, EngineStats, EventQueue, Fabric, FaultPlan, OutageKind, OutagePlan, Outbox,
-    ParallelEngine, Quantum, RunGoal, RunReport, Shard, SimTime, StallReport, Wakeup,
+    Activity, Component, EngineStats, EventQueue, Fabric, FaultPlan, OutageKind, OutagePlan,
+    ParallelEngine, Quantum, RunGoal, RunReport, Shard, SimTime, StallReport,
 };
 
+use crate::block::{route_switched, Endpoint, EndpointBlock, SwitchPolicy};
 use crate::config::{McnConfig, SystemConfig};
 use crate::system::McnSystem;
 
@@ -69,7 +81,7 @@ enum RackOutage {
 /// A control command the coordinator hands to one server block at a
 /// window boundary (the shard-side half of a [`RackOutage`]).
 #[derive(Debug)]
-enum BlockCmd {
+pub(crate) enum BlockCmd {
     /// Crash DIMM `d`.
     DimmCrash(usize),
     /// Power DIMM `d` back on.
@@ -110,45 +122,44 @@ pub struct RackStats {
     pub partitions: Counter,
     /// Whole-node reboots applied.
     pub node_reboots: Counter,
+    /// Frames the ToR handed up to the datacenter fabric.
+    pub fabric_tx: Counter,
+    /// Fabric frames delivered down into this rack.
+    pub fabric_rx: Counter,
+    /// Fabric-bound or fabric-delivered frames with nowhere to go
+    /// (standalone rack, unknown owner, undecodable payload).
+    pub fabric_drops: Counter,
     /// Correlated failure-domain accounting.
     pub domains: Vec<DomainStats>,
 }
 
-/// One shard of the rack: a server, its NIC, and its up/down links.
-/// Everything inside interacts at memory-channel/PCIe latency; the only
-/// way out is the uplink into the ToR switch.
+/// The machine behind one rack shard: an [`McnSystem`] and its
+/// conventional NIC. The wire machinery (links, event pump, emission
+/// bounds) is the shared [`EndpointBlock`].
 #[derive(Debug)]
-struct ServerBlock {
+pub(crate) struct McnEndpoint {
     /// This block's server index (for F4 source addressing).
     id: usize,
+    /// This rack's id in the datacenter address plan (0 standalone).
+    rack_id: usize,
     /// Rack size (for the F4 owner lookup).
     n_servers: usize,
-    sys: McnSystem,
-    nic: Nic,
-    up: Link,
-    down: Link,
-    /// Shard-local mirror of the uplink carrier (the coordinator holds
-    /// the authoritative copy for route-time checks).
-    link_up: bool,
-    /// Block-local clock: the last event time processed.
-    clock: SimTime,
-    /// Event-loop accounting (advances = event times, rounds =
-    /// convergence iterations with work, polls = block polls).
-    stats: EngineStats,
-    /// Frames this block dropped on its own severed uplink.
-    uplink_drops: Counter,
-    /// Recycled buffers for the per-tick NIC/link drains.
-    nic_events: Vec<NicEvent>,
-    frame_scratch: Vec<EthernetFrame>,
+    /// Whether a Clos fabric sits above the ToR: remote-rack addresses
+    /// escape via the gateway MAC instead of being dropped.
+    dc_mode: bool,
+    pub(crate) sys: McnSystem,
+    pub(crate) nic: Nic,
 }
 
-/// Who owns `ip` under the rack address plan?
-fn owner_of(ip: std::net::Ipv4Addr, n_servers: usize) -> Option<usize> {
+/// Who owns `ip` under the rack address plan? Remote racks' NIC
+/// addresses (`192.168.r.x` with `r != rack_id`) are *not* owned — they
+/// belong to the fabric.
+fn owner_of(ip: std::net::Ipv4Addr, rack_id: usize, n_servers: usize) -> Option<usize> {
     let o = ip.octets();
-    if o == [192, 168, 0, 0] {
-        return None;
-    }
-    if o[0] == 192 && o[1] == 168 && o[2] == 0 {
+    if o[0] == 192 && o[1] == 168 {
+        if o[2] as usize != rack_id {
+            return None; // remote rack, or the gateway plane
+        }
         let s = (o[3] as usize).checked_sub(1)?;
         return (s < n_servers).then_some(s);
     }
@@ -159,11 +170,27 @@ fn owner_of(ip: std::net::Ipv4Addr, n_servers: usize) -> Option<usize> {
     None
 }
 
-impl ServerBlock {
-    /// One round of progress at time `t`: the server itself, its NIC
-    /// pipeline, its uplink into the switch (emissions go to `outbox`),
-    /// and its downlink into the NIC.
-    fn advance_block(&mut self, t: SimTime, outbox: &mut Outbox<EthernetFrame>) -> bool {
+/// The remote rack `ip` belongs to, if it is a NIC-plane address of a
+/// rack other than `rack_id` (the gateway subnet `192.168.255.0/24` and
+/// network addresses are excluded).
+fn remote_rack_of(ip: std::net::Ipv4Addr, rack_id: usize) -> Option<usize> {
+    let o = ip.octets();
+    (o[0] == 192 && o[1] == 168 && o[2] != 255 && o[2] as usize != rack_id && o[3] >= 1)
+        .then_some(o[2] as usize)
+}
+
+impl Endpoint for McnEndpoint {
+    type Cmd = BlockCmd;
+
+    fn wire(&mut self) -> (&mut Nic, &mut MemorySystem) {
+        (&mut self.nic, &mut self.sys.host.mem)
+    }
+
+    fn nic(&self) -> &Nic {
+        &self.nic
+    }
+
+    fn advance_pre(&mut self, t: SimTime) -> bool {
         let mut changed = false;
         // Fold the server's own activity into the convergence flag so
         // `rounds` counts real work (the internal advance runs to its own
@@ -179,7 +206,9 @@ impl ServerBlock {
                 .on_job_done(job, t, &mut self.sys.host.cpus, &self.sys.host.cost, false);
             changed = true;
         }
-        // F4 frames → NIC transmit, addressed to the owning server.
+        // F4 frames → NIC transmit, addressed to the owning server (or
+        // to the datacenter gateway when the owner lives in another
+        // rack and a fabric exists to carry the frame there).
         for mut frame in self.sys.take_external() {
             changed = true;
             let Some(dst_ip) = mcn_net::Ipv4Packet::decode(&frame.payload)
@@ -188,121 +217,50 @@ impl ServerBlock {
             else {
                 continue;
             };
-            let Some(owner) = owner_of(dst_ip, self.n_servers) else {
-                continue; // truly external: leaves the rack (dropped)
+            let dst_mac = match owner_of(dst_ip, self.rack_id, self.n_servers) {
+                Some(owner) => McnSystem::nic_mac_in(self.rack_id, owner),
+                None if self.dc_mode && remote_rack_of(dst_ip, self.rack_id).is_some() => {
+                    McnSystem::GATEWAY_MAC
+                }
+                None => continue, // truly external: leaves the world (dropped)
             };
-            frame.dst = McnSystem::nic_mac(owner);
-            frame.src = McnSystem::nic_mac(self.id);
+            frame.dst = dst_mac;
+            frame.src = McnSystem::nic_mac_in(self.rack_id, self.id);
             let core = self.sys.host.cpus.least_loaded();
             self.nic
                 .xmit(frame, t, core, &mut self.sys.host.cpus, &self.sys.host.cost);
         }
-        // NIC pipeline (events drain through the block's recycled
-        // buffer: this loop runs every fixed-point round).
-        let mut evs = std::mem::take(&mut self.nic_events);
-        self.nic.advance_into(t, &mut self.sys.host.mem, &mut evs);
-        for ev in evs.drain(..) {
-            changed = true;
-            match ev {
-                NicEvent::TxWire(frame) => {
-                    if self.link_up {
-                        self.up.send(frame, t);
-                    } else {
-                        // Severed uplink: the frame leaves the NIC and dies
-                        // on the wire. Transport retransmits after the heal.
-                        self.uplink_drops.inc();
-                    }
-                }
-                NicEvent::RxDeliver(frame) => {
-                    self.sys.ingress_external(frame, t);
-                }
-            }
-        }
-        self.nic_events = evs;
-        // Frames reaching the switch leave the shard; the coordinator
-        // routes them at the next barrier.
-        let mut frames = std::mem::take(&mut self.frame_scratch);
-        self.up.poll_into(t, &mut frames);
-        for frame in frames.drain(..) {
-            changed = true;
-            if !self.link_up {
-                // In flight when the link was cut: lost.
-                self.uplink_drops.inc();
-                continue;
-            }
-            outbox.emit(t, frame);
-        }
-        self.down.poll_into(t, &mut frames);
-        for frame in frames.drain(..) {
-            changed = true;
-            if !self.link_up {
-                self.uplink_drops.inc();
-                continue;
-            }
-            self.nic.wire_rx(frame, t, &mut self.sys.host.mem);
-        }
-        self.frame_scratch = frames;
         changed
     }
-}
 
-impl Shard for ServerBlock {
-    type Frame = EthernetFrame;
-    type Cmd = BlockCmd;
-
-    fn next_event(&mut self) -> Option<SimTime> {
-        [
-            self.sys.next_event(),
-            self.nic.next_wakeup(),
-            self.up.next_wakeup(),
-            self.down.next_wakeup(),
-        ]
-        .into_iter()
-        .flatten()
-        .min()
-        .map(|t| t.max(self.clock))
+    fn advance_post(&mut self, _t: SimTime) -> bool {
+        // The McnSystem's own advance (in `advance_pre` next round)
+        // covers stack service and processes; nothing extra here.
+        false
     }
 
-    fn next_emission(&mut self) -> Option<SimTime> {
-        // Lower bound on the next frame reaching the switch: (a) frames
-        // already in flight on the uplink arrive as-is; (b) frames
-        // staged in the NIC TX pipeline still pay uplink propagation;
-        // (c) anything else starts from a local event and crosses PCIe
-        // and the uplink first. Under-estimating is always sound (it
-        // only shortens coarsened windows).
-        let up_lat = self.up.latency();
-        let pcie = self.nic.pcie_latency();
-        [
-            self.up.next_arrival(),
-            self.nic.earliest_tx_staged().map(|t| t + up_lat),
-            Shard::next_event(self).map(|t| t + pcie + up_lat),
-        ]
-        .into_iter()
-        .flatten()
-        .min()
+    fn rx(&mut self, frame: EthernetFrame, t: SimTime) {
+        self.sys.ingress_external(frame, t);
     }
 
-    fn turnaround(&self) -> SimTime {
-        // A delivered frame pays downlink propagation, one PCIe
-        // crossing, and uplink propagation before any response it
-        // causes can reach the switch.
-        self.down.latency() + self.nic.pcie_latency() + self.up.latency()
+    fn next_wakeup(&mut self) -> Option<SimTime> {
+        self.sys.next_event()
     }
 
-    fn apply(&mut self, at: SimTime, cmd: BlockCmd) {
+    fn apply(&mut self, at: SimTime, cmd: BlockCmd, link_up: &mut bool) {
         match cmd {
             BlockCmd::DimmCrash(d) => self.sys.crash_dimm(d, at),
             BlockCmd::DimmPowerOn(d) => self.sys.power_on_dimm(d, at),
-            BlockCmd::LinkDown => self.link_up = false,
-            BlockCmd::LinkUp => self.link_up = true,
+            BlockCmd::LinkDown => *link_up = false,
+            BlockCmd::LinkUp => *link_up = true,
             BlockCmd::NodeDown => {
-                self.link_up = false;
+                *link_up = false;
                 for d in 0..self.sys.dimms() {
                     self.sys.crash_dimm(d, at);
                 }
             }
             BlockCmd::NodeUp => {
-                self.link_up = true;
+                *link_up = true;
                 for d in 0..self.sys.dimms() {
                     self.sys.power_on_dimm(d, at);
                 }
@@ -310,40 +268,57 @@ impl Shard for ServerBlock {
         }
     }
 
-    fn deliver(&mut self, at: SimTime, frame: EthernetFrame) {
-        // `at` is the time the frame left the switch towards us; the
-        // downlink adds serialization + propagation on its own clock, so
-        // a barrier-late hand-off still yields the exact arrival time.
-        self.down.send(frame, at);
-    }
-
-    fn run_window(&mut self, end: SimTime, outbox: &mut Outbox<EthernetFrame>) -> u64 {
-        let mut steps = 0;
-        while let Some(t) = Shard::next_event(self) {
-            if t > end {
-                break;
-            }
-            self.clock = t;
-            steps += 1;
-            self.stats.advances.inc();
-            let mut iters = 0u32;
-            loop {
-                self.stats.component_polls.inc();
-                if !self.advance_block(t, outbox) {
-                    break;
-                }
-                self.stats.rounds.inc();
-                iters += 1;
-                if iters >= 100_000 {
-                    panic!("{}", self.sys.stall_report("server block did not converge"));
-                }
-            }
-        }
-        steps
-    }
-
     fn procs_done(&self) -> bool {
         self.sys.all_procs_done()
+    }
+
+    fn stall_panic(&self, _t: SimTime) -> String {
+        format!("{}", self.sys.stall_report("server block did not converge"))
+    }
+}
+
+/// The admission/claim policy of the ToR: partitions, severed uplinks,
+/// and (in datacenter mode) the fabric gateway.
+struct RackPolicy<'a> {
+    partition: &'a Option<Vec<usize>>,
+    link_up: &'a [bool],
+    stats: &'a mut RackStats,
+    dc_uplink: Option<&'a mut Vec<(SimTime, EthernetFrame)>>,
+}
+
+impl SwitchPolicy for RackPolicy<'_> {
+    fn claim(&mut self, at: SimTime, frame: &EthernetFrame) -> bool {
+        if frame.dst != McnSystem::GATEWAY_MAC {
+            return false;
+        }
+        match &mut self.dc_uplink {
+            Some(up) => {
+                self.stats.fabric_tx.inc();
+                up.push((at, frame.clone()));
+            }
+            None => {
+                // Standalone rack: there is nothing above the ToR; the
+                // frame leaves the simulated world.
+                self.stats.fabric_drops.inc();
+            }
+        }
+        true
+    }
+
+    fn admit(&mut self, from: usize, to: usize) -> bool {
+        if let Some(groups) = self.partition {
+            if groups[to] != groups[from] {
+                // Partitioned: the switch has no path between the
+                // groups. Silent loss, exactly like a real fabric.
+                self.stats.partition_drops.inc();
+                return false;
+            }
+        }
+        if !self.link_up[to] {
+            self.stats.uplink_drops.inc();
+            return false;
+        }
+        true
     }
 }
 
@@ -355,9 +330,10 @@ struct RackFabric<'a> {
     partition: &'a mut Option<Vec<usize>>,
     link_up: &'a mut [bool],
     stats: &'a mut RackStats,
+    dc_uplink: Option<&'a mut Vec<(SimTime, EthernetFrame)>>,
 }
 
-impl Fabric<ServerBlock> for RackFabric<'_> {
+impl Fabric<EndpointBlock<McnEndpoint>> for RackFabric<'_> {
     fn next_control(&mut self) -> Option<SimTime> {
         self.outages.peek_time()
     }
@@ -415,22 +391,13 @@ impl Fabric<ServerBlock> for RackFabric<'_> {
         frame: EthernetFrame,
         out: &mut Vec<(usize, SimTime, EthernetFrame)>,
     ) {
-        let fwd_at = at + self.switch.forward_latency;
-        for p in self.switch.route(&frame, from) {
-            if let Some(groups) = &*self.partition {
-                if groups[p] != groups[from] {
-                    // Partitioned: the switch has no path between the
-                    // groups. Silent loss, exactly like a real fabric.
-                    self.stats.partition_drops.inc();
-                    continue;
-                }
-            }
-            if !self.link_up[p] {
-                self.stats.uplink_drops.inc();
-                continue;
-            }
-            out.push((p, fwd_at, frame.clone()));
-        }
+        let mut policy = RackPolicy {
+            partition: self.partition,
+            link_up: self.link_up,
+            stats: self.stats,
+            dc_uplink: self.dc_uplink.as_deref_mut(),
+        };
+        route_switched(self.switch, &mut policy, from, at, frame, out);
     }
 }
 
@@ -441,7 +408,7 @@ impl Fabric<ServerBlock> for RackFabric<'_> {
 /// outage schedule live on the coordinator and run only at barriers.
 #[derive(Debug)]
 pub struct McnRack {
-    blocks: Vec<ServerBlock>,
+    blocks: Vec<EndpointBlock<McnEndpoint>>,
     switch: Switch,
     now: SimTime,
     /// The quantum-synchronized scheduler (serial = 1 thread).
@@ -453,6 +420,14 @@ pub struct McnRack {
     /// Per-server uplink carrier (false = severed); authoritative copy
     /// for route-time checks, mirrored into the blocks for poll-time.
     link_up: Vec<bool>,
+    /// This rack's id in the datacenter address plan (0 standalone).
+    rack_id: usize,
+    /// Whether a Clos fabric sits above the ToR.
+    dc_mode: bool,
+    /// Frames claimed by the gateway since the last
+    /// [`take_dc_uplink`](Self::take_dc_uplink), with their
+    /// cleared-the-ToR timestamps.
+    dc_uplink_out: Vec<(SimTime, EthernetFrame)>,
     /// Outage statistics.
     pub stats: RackStats,
 }
@@ -480,12 +455,44 @@ impl McnRack {
         cfg: McnConfig,
         plan: &FaultPlan,
     ) -> Self {
+        Self::build(sys, n_servers, dimms_per_server, cfg, plan, 0, false)
+    }
+
+    /// Builds rack `rack_id` of a datacenter: NIC addresses shift into
+    /// the rack's `/24`, every server gets the `/16` gateway route, and
+    /// the ToR claims gateway-bound frames onto the fabric uplink.
+    pub(crate) fn new_in_dc(
+        sys: &SystemConfig,
+        n_servers: usize,
+        dimms_per_server: usize,
+        cfg: McnConfig,
+        plan: &FaultPlan,
+        rack_id: usize,
+    ) -> Self {
+        Self::build(sys, n_servers, dimms_per_server, cfg, plan, rack_id, true)
+    }
+
+    fn build(
+        sys: &SystemConfig,
+        n_servers: usize,
+        dimms_per_server: usize,
+        cfg: McnConfig,
+        plan: &FaultPlan,
+        rack_id: usize,
+        dc: bool,
+    ) -> Self {
         assert!((1..=10).contains(&n_servers), "address plan supports 1-10 servers");
+        assert!(rack_id < 64, "NIC MAC plan supports 64 racks");
         let mut servers: Vec<McnSystem> = (0..n_servers)
             .map(|s| {
                 let mut m =
-                    McnSystem::with_faults_in_rack(sys, dimms_per_server, cfg, s, plan);
+                    McnSystem::with_faults_in_dc(sys, dimms_per_server, cfg, rack_id, s, plan);
                 m.attach_nic_iface();
+                if dc {
+                    // /16 towards the fabric; the /32 same-rack routes
+                    // below win by longest-prefix match.
+                    m.add_dc_gateway_route();
+                }
                 m
             })
             .collect();
@@ -496,8 +503,8 @@ impl McnRack {
                 if r == s {
                     continue;
                 }
-                let gw = McnSystem::nic_ip(r);
-                let gw_mac = McnSystem::nic_mac(r);
+                let gw = McnSystem::nic_ip_in(rack_id, r);
+                let gw_mac = McnSystem::nic_mac_in(rack_id, r);
                 for d in 0..dimms_per_server {
                     let dimm_ip = crate::McnDimm::ip_for(r, d);
                     let host_if = McnSystem::host_if_ip_for(r, d);
@@ -516,19 +523,19 @@ impl McnRack {
             blocks: servers
                 .into_iter()
                 .enumerate()
-                .map(|(id, srv)| ServerBlock {
-                    id,
-                    n_servers,
-                    sys: srv,
-                    nic: Nic::new(NicConfig::default()),
-                    up: mk_link(),
-                    down: mk_link(),
-                    link_up: true,
-                    clock: SimTime::ZERO,
-                    stats: EngineStats::default(),
-                    uplink_drops: Counter::default(),
-                    nic_events: Vec::new(),
-                    frame_scratch: Vec::new(),
+                .map(|(id, srv)| {
+                    EndpointBlock::new(
+                        McnEndpoint {
+                            id,
+                            rack_id,
+                            n_servers,
+                            dc_mode: dc,
+                            sys: srv,
+                            nic: Nic::new(NicConfig::default()),
+                        },
+                        mk_link(),
+                        mk_link(),
+                    )
                 })
                 .collect(),
             switch,
@@ -537,6 +544,9 @@ impl McnRack {
             outages: EventQueue::new(),
             partition: None,
             link_up: vec![true; n_servers],
+            rack_id,
+            dc_mode: dc,
+            dc_uplink_out: Vec::new(),
             stats: RackStats::default(),
         }
     }
@@ -590,7 +600,7 @@ impl McnRack {
                 else {
                     bad()
                 };
-                if d >= self.blocks[s].sys.dimms() {
+                if d >= self.blocks[s].ep.sys.dimms() {
                     bad();
                 }
                 (
@@ -654,7 +664,7 @@ impl McnRack {
             }
         }
         for s in 0..self.blocks.len() {
-            for d in 0..self.blocks[s].sys.dimms() {
+            for d in 0..self.blocks[s].ep.sys.dimms() {
                 let mut sched = plan.schedule(&Self::dimm_outage_component(s, d));
                 for (t, kind) in sched.pop_due(SimTime::MAX) {
                     let OutageKind::DimmCrash { down_for } = kind else {
@@ -732,13 +742,13 @@ impl McnRack {
 
     /// Access server `s`.
     pub fn server(&self, s: usize) -> &McnSystem {
-        &self.blocks[s].sys
+        &self.blocks[s].ep.sys
     }
 
     /// Mutable access to server `s` (e.g. to spawn work or open sockets;
     /// the scheduler re-queries every block's deadline each window).
     pub fn server_mut(&mut self, s: usize) -> &mut McnSystem {
-        &mut self.blocks[s].sys
+        &mut self.blocks[s].ep.sys
     }
 
     /// Current simulated time.
@@ -770,7 +780,7 @@ impl McnRack {
 
     /// All processes on all servers finished?
     pub fn all_procs_done(&self) -> bool {
-        self.blocks.iter().all(|b| b.sys.all_procs_done())
+        self.blocks.iter().all(|b| b.ep.sys.all_procs_done())
     }
 
     /// Earliest pending activity in the rack: the earliest block event
@@ -793,7 +803,7 @@ impl McnRack {
     pub fn stall_report(&self, title: &str) -> StallReport {
         let mut r = StallReport::new(format!("{title} (rack of {} @ {})", self.len(), self.now));
         for (s, b) in self.blocks.iter().enumerate() {
-            r.absorb(&format!("srv{s}."), &b.sys.stall_report("server"));
+            r.absorb(&format!("srv{s}."), &b.ep.sys.stall_report("server"));
         }
         for (s, b) in self.blocks.iter().enumerate() {
             r.line(
@@ -801,7 +811,7 @@ impl McnRack {
                 format!(
                     "srv{s}: link_up={} nic_next={:?} up_next={:?} down_next={:?}",
                     b.link_up,
-                    b.nic.next_event(),
+                    b.ep.nic.next_event(),
                     b.up.next_arrival(),
                     b.down.next_arrival()
                 ),
@@ -819,7 +829,7 @@ impl McnRack {
     /// Who owns `ip` (by the rack address plan)?
     #[cfg(test)]
     fn owner_of(&self, ip: std::net::Ipv4Addr) -> Option<usize> {
-        owner_of(ip, self.blocks.len())
+        owner_of(ip, self.rack_id, self.blocks.len())
     }
 
     /// Drives the rack with the windowed scheduler on `threads` workers.
@@ -832,9 +842,19 @@ impl McnRack {
             outages,
             partition,
             link_up,
+            dc_mode,
+            dc_uplink_out,
             stats,
+            ..
         } = self;
-        let mut fabric = RackFabric { switch, outages, partition, link_up, stats };
+        let mut fabric = RackFabric {
+            switch,
+            outages,
+            partition,
+            link_up,
+            stats,
+            dc_uplink: if *dc_mode { Some(dc_uplink_out) } else { None },
+        };
         sched.run(blocks, &mut fabric, now, target, goal, threads)
     }
 
@@ -851,6 +871,57 @@ impl McnRack {
     /// [`run_until`](mcn_sim::ComponentExt::run_until).
     pub fn run_parallel_until(&mut self, deadline: SimTime, threads: usize) {
         self.drive(deadline, RunGoal::Deadline, threads);
+    }
+
+    /// Drives every event up to exactly `end` serially and returns the
+    /// event count — the inner step of a hierarchical quantum domain
+    /// (the datacenter engine calls this inside each outer window).
+    pub(crate) fn drive_window(&mut self, end: SimTime) -> u64 {
+        self.drive(end, RunGoal::Deadline, 1).events
+    }
+
+    /// Drains the gateway-claimed frames bound for the Clos fabric.
+    pub(crate) fn take_dc_uplink(&mut self) -> Vec<(SimTime, EthernetFrame)> {
+        std::mem::take(&mut self.dc_uplink_out)
+    }
+
+    /// Delivers a frame that arrived from the fabric at the ToR at `at`:
+    /// re-addressed to the owning server's NIC and sent down its link.
+    /// Returns whether a server accepted it.
+    pub(crate) fn deliver_from_fabric(&mut self, at: SimTime, frame: EthernetFrame) -> bool {
+        let Some(dst_ip) = mcn_net::Ipv4Packet::decode(&frame.payload)
+            .ok()
+            .map(|p| p.dst)
+        else {
+            self.stats.fabric_drops.inc();
+            return false;
+        };
+        let Some(owner) = owner_of(dst_ip, self.rack_id, self.blocks.len()) else {
+            self.stats.fabric_drops.inc();
+            return false;
+        };
+        if !self.link_up[owner] {
+            self.stats.uplink_drops.inc();
+            return false;
+        }
+        let mut f = frame;
+        f.dst = McnSystem::nic_mac_in(self.rack_id, owner);
+        self.stats.fabric_rx.inc();
+        Shard::deliver(&mut self.blocks[owner], at, f);
+        true
+    }
+
+    /// The rack's inner scheduler (quantum + per-domain accounting for
+    /// the datacenter's hierarchical metrics).
+    pub(crate) fn engine(&self) -> &ParallelEngine {
+        &self.sched
+    }
+
+    /// Schedules a whole-node reboot of `server` directly (the
+    /// datacenter expands rack-scale outage components into these).
+    pub(crate) fn schedule_node_outage(&mut self, server: usize, at: SimTime, up_at: SimTime) {
+        self.outages.schedule(at, RackOutage::NodeDown { server });
+        self.outages.schedule(up_at, RackOutage::NodeUp { server });
     }
 
     /// Event-loop accounting summed over the server blocks.
@@ -883,7 +954,7 @@ impl Component for McnRack {
     fn engine_accounting(&self, out: &mut Vec<(EngineStats, usize)>) {
         out.push((self.summed_stats(), self.blocks.len()));
         for b in &self.blocks {
-            b.sys.engine_accounting(out);
+            b.ep.sys.engine_accounting(out);
         }
     }
 }
@@ -904,6 +975,9 @@ impl Instrumented for McnRack {
             out.counter("link_downs", self.stats.link_downs.get());
             out.counter("partitions", self.stats.partitions.get());
             out.counter("node_reboots", self.stats.node_reboots.get());
+            out.counter("fabric_tx", self.stats.fabric_tx.get());
+            out.counter("fabric_rx", self.stats.fabric_rx.get());
+            out.counter("fabric_drops", self.stats.fabric_drops.get());
             for d in &self.stats.domains {
                 out.scoped(&format!("outage.domain.{}", d.name), |out| {
                     out.counter("crashes", d.crashes.get());
@@ -913,10 +987,10 @@ impl Instrumented for McnRack {
         });
         out.absorb("switch", &self.switch);
         for (s, b) in self.blocks.iter().enumerate() {
-            out.absorb(&format!("srv{s}"), &b.sys);
+            out.absorb(&format!("srv{s}"), &b.ep.sys);
         }
         for (s, b) in self.blocks.iter().enumerate() {
-            out.absorb(&format!("nic{s}"), &b.nic);
+            out.absorb(&format!("nic{s}"), &b.ep.nic);
             out.scoped(&format!("link{s}"), |out| {
                 out.absorb("up", &b.up);
                 out.absorb("down", &b.down);
@@ -951,6 +1025,24 @@ mod tests {
         assert_eq!(rack.owner_of(rack.server(2).dimm_ip(1)), Some(2));
         assert_eq!(rack.owner_of(McnSystem::nic_ip(0)), Some(0));
         assert_eq!(rack.owner_of(std::net::Ipv4Addr::new(8, 8, 8, 8)), None);
+    }
+
+    #[test]
+    fn dc_address_plan_is_disjoint_across_racks() {
+        let mut ips = std::collections::HashSet::new();
+        let mut macs = std::collections::HashSet::new();
+        for r in 0..8 {
+            for s in 0..8 {
+                assert!(ips.insert(McnSystem::nic_ip_in(r, s)), "nic ip {r}/{s}");
+                assert!(macs.insert(McnSystem::nic_mac_in(r, s).0), "nic mac {r}/{s}");
+            }
+        }
+        // Remote-rack addresses are owned by nobody locally but resolve
+        // to their rack for the gateway escape.
+        assert_eq!(owner_of(McnSystem::nic_ip_in(3, 2), 1, 8), None);
+        assert_eq!(remote_rack_of(McnSystem::nic_ip_in(3, 2), 1), Some(3));
+        assert_eq!(remote_rack_of(McnSystem::nic_ip_in(1, 2), 1), None);
+        assert_eq!(remote_rack_of(McnSystem::GATEWAY_IP, 1), None);
     }
 
     #[test]
@@ -1223,7 +1315,7 @@ mod tests {
             .is_some());
         assert_eq!(rack.server(0).hdrv.stats.f3_forward.get(), 1);
         assert_eq!(rack.server(0).hdrv.stats.f4_external.get(), 0);
-        assert_eq!(rack.blocks[0].nic.tx_frames.get(), 0, "nothing on the wire");
+        assert_eq!(rack.blocks[0].ep.nic.tx_frames.get(), 0, "nothing on the wire");
     }
 }
 

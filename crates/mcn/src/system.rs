@@ -119,6 +119,7 @@ pub struct McnSystem {
     cfg: McnConfig,
     now: SimTime,
     server_id: usize,
+    rack_id: usize,
     /// The host node (public for instrumentation in harnesses/tests).
     pub host: Node,
     dimms: Vec<McnDimm>,
@@ -208,6 +209,23 @@ impl McnSystem {
         sys: &SystemConfig,
         n_dimms: usize,
         cfg: McnConfig,
+        server_id: usize,
+        plan: &FaultPlan,
+    ) -> Self {
+        Self::with_faults_in_dc(sys, n_dimms, cfg, 0, server_id, plan)
+    }
+
+    /// [`with_faults_in_rack`](Self::with_faults_in_rack) for server
+    /// `server_id` of rack `rack_id` in a multi-rack datacenter: the
+    /// conventional-NIC address plan shifts per rack
+    /// ([`nic_ip_in`](Self::nic_ip_in)) so host NICs stay unique across
+    /// the whole fabric. DIMM and host-interface addresses (`10.x`) are
+    /// rack-private and do not shift.
+    pub fn with_faults_in_dc(
+        sys: &SystemConfig,
+        n_dimms: usize,
+        cfg: McnConfig,
+        rack_id: usize,
         server_id: usize,
         plan: &FaultPlan,
     ) -> Self {
@@ -331,6 +349,7 @@ impl McnSystem {
             cfg,
             now: SimTime::ZERO,
             server_id,
+            rack_id,
             host,
             dimms,
             hdrv,
@@ -372,7 +391,8 @@ impl McnSystem {
                     | OutageKind::LinkDown { down_for }
                     | OutageKind::NodeReboot { down_for }
                     | OutageKind::DomainDown { down_for } => down_for,
-                    OutageKind::SwitchPartition { .. } => continue,
+                    OutageKind::SwitchPartition { .. }
+                    | OutageKind::SwitchDown { .. } => continue,
                 };
                 self.effects.schedule(t, Effect::Crash { dimm: d });
                 self.effects
@@ -436,8 +456,8 @@ impl McnSystem {
     /// [`add_remote_route`](Self::add_remote_route).
     pub fn attach_nic_iface(&mut self) -> usize {
         let ifidx = self.host.stack.add_interface(NetConfig {
-            mac: Self::nic_mac(self.server_id),
-            ip: Self::nic_ip(self.server_id),
+            mac: Self::nic_mac_in(self.rack_id, self.server_id),
+            ip: Self::nic_ip_in(self.rack_id, self.server_id),
             mtu: mcn_net::MTU_ETHERNET,
             tx_checksum: false,
             rx_checksum: false,
@@ -447,14 +467,55 @@ impl McnSystem {
         ifidx
     }
 
-    /// The conventional NIC's MAC for rack server `s`.
+    /// The conventional NIC's MAC for rack server `s`
+    /// ([`nic_mac_in`](Self::nic_mac_in) for rack 0).
     pub fn nic_mac(s: usize) -> MacAddr {
-        MacAddr::from_id(0x0400 + s as u16)
+        Self::nic_mac_in(0, s)
     }
 
-    /// The conventional NIC's IP for rack server `s`.
+    /// The conventional NIC's IP for rack server `s`
+    /// ([`nic_ip_in`](Self::nic_ip_in) for rack 0).
     pub fn nic_ip(s: usize) -> Ipv4Addr {
-        Ipv4Addr::new(192, 168, 0, (s + 1) as u8)
+        Self::nic_ip_in(0, s)
+    }
+
+    /// The conventional NIC's MAC for server `s` of rack `rack`: 0x20
+    /// ids per rack keep every NIC distinct (and clear of the DIMM MAC
+    /// range) for up to 64 racks of 10 servers.
+    pub fn nic_mac_in(rack: usize, s: usize) -> MacAddr {
+        MacAddr::from_id(0x0400 + rack as u16 * 0x20 + s as u16)
+    }
+
+    /// The conventional NIC's IP for server `s` of rack `rack`: one /24
+    /// per rack inside `192.168.0.0/16`, so the rack id is readable off
+    /// the third octet everywhere frames are routed.
+    pub fn nic_ip_in(rack: usize, s: usize) -> Ipv4Addr {
+        Ipv4Addr::new(192, 168, rack as u8, (s + 1) as u8)
+    }
+
+    /// Well-known MAC of a rack's datacenter gateway (its ToR fabric
+    /// uplink). Frames the host stack resolves to this MAC are claimed
+    /// by the ToR and handed to the Clos fabric instead of a local port.
+    pub const GATEWAY_MAC: MacAddr = MacAddr([0x02, 0x4D, 0x43, 0x4E, 0xFF, 0xF0]);
+
+    /// Next-hop IP the gateway route resolves through (never a real
+    /// interface; exists so the stack has a neighbor entry yielding
+    /// [`GATEWAY_MAC`](Self::GATEWAY_MAC)).
+    pub const GATEWAY_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 255, 254);
+
+    /// Routes the whole `192.168.0.0/16` NIC plane out the conventional
+    /// NIC via the datacenter gateway. Installed *before* the rack's
+    /// /32 same-rack routes, which win by longest-prefix match, so only
+    /// genuinely remote-rack traffic escapes to the fabric.
+    pub fn add_dc_gateway_route(&mut self) {
+        let ifidx = self.nic_ifidx.expect("attach_nic_iface first");
+        self.host.stack.add_route(
+            Ipv4Addr::new(192, 168, 0, 0),
+            Ipv4Addr::new(255, 255, 0, 0),
+            ifidx,
+            Some(Self::GATEWAY_IP),
+        );
+        self.host.stack.add_neighbor(Self::GATEWAY_IP, Self::GATEWAY_MAC);
     }
 
     /// Routes `dst` out the conventional NIC towards `gw` (a remote
@@ -480,6 +541,11 @@ impl McnSystem {
     /// This server's id within its rack (0 standalone).
     pub fn server_id(&self) -> usize {
         self.server_id
+    }
+
+    /// This server's rack id within its datacenter (0 standalone).
+    pub fn rack_id(&self) -> usize {
+        self.rack_id
     }
 
     /// The host's self-address in a system with zero DIMMs (scale-up
@@ -1381,7 +1447,7 @@ impl McnSystem {
             // the NIC interface it physically arrived on.
             let ifidx = self.nic_ifidx.unwrap_or(0);
             let mut f = frame;
-            f.dst = Self::nic_mac(self.server_id);
+            f.dst = Self::nic_mac_in(self.rack_id, self.server_id);
             self.effects
                 .schedule(now, Effect::HostDeliver { ifidx, frame: f });
         }

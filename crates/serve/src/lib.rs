@@ -45,7 +45,7 @@ pub mod resilient;
 
 pub use client::{KvClient, KvClientConfig};
 pub use kv::{parse_request, KvServer, KvServerConfig, Request};
-pub use placement::{Backend, ReplicaMap};
+pub use placement::{Backend, PlacementError, ReplicaMap};
 pub use report::ServeReport;
 pub use resilient::{
     BreakerConfig, CircuitBreaker, Pass, ResilientClientConfig, ResilientKvClient, RetryBudget,

@@ -11,10 +11,19 @@
 //! Placement is a pure function of the backend list and the range count —
 //! no RNG — so every client computes the identical map and the whole fleet
 //! agrees on who owns what without coordination.
+//!
+//! Placement is **rack-aware**: when the fleet spans at least `R` racks
+//! of a multi-rack datacenter, replicas spread across distinct
+//! *racks* (the larger blast radius — a rack power event or ToR loss
+//! fells every domain inside it at once); otherwise they spread across
+//! distinct per-rack failure domains as before. Domain names repeat
+//! across racks (`server0` exists in every rack), so the fallback keys
+//! on the `(rack, domain)` pair.
 
+use std::fmt;
 use std::net::Ipv4Addr;
 
-/// One KV backend: a server endpoint plus the failure domain it lives in.
+/// One KV backend: a server endpoint plus where it lives.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Backend {
     /// Server address (a DIMM IP in the MCN rack).
@@ -24,10 +33,48 @@ pub struct Backend {
     /// Failure-domain name (matches the domain defined on the
     /// [`OutagePlan`](mcn_sim::OutagePlan) so chaos and placement agree).
     pub domain: String,
+    /// Rack the backend lives in (0 for a single-rack deployment).
+    pub rack: usize,
 }
 
+/// Why a [`ReplicaMap`] could not be built from the given fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// The backend list was empty.
+    NoBackends,
+    /// The replication factor was zero.
+    ZeroReplication,
+    /// The range count was zero.
+    ZeroRanges,
+    /// Fewer distinct failure units than replicas: placement would have
+    /// to co-locate replicas, defeating the point.
+    InsufficientDomains {
+        /// Replication factor requested.
+        needed: usize,
+        /// Distinct failure units (racks, or `(rack, domain)` pairs)
+        /// actually available.
+        have: usize,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::NoBackends => write!(f, "no backends"),
+            PlacementError::ZeroReplication => write!(f, "need at least one replica"),
+            PlacementError::ZeroRanges => write!(f, "need at least one range"),
+            PlacementError::InsufficientDomains { needed, have } => write!(
+                f,
+                "replication factor {needed} needs {needed} distinct failure domains, have {have}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
 /// Replicated key-range placement over a backend fleet; see module docs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReplicaMap {
     backends: Vec<Backend>,
     /// Backend indices per range, `r` entries each, distinct domains.
@@ -36,47 +83,70 @@ pub struct ReplicaMap {
 
 impl ReplicaMap {
     /// Places `n_ranges` key ranges over `backends` with `r` replicas
-    /// each, every replica of a range in a different failure domain.
-    /// Ranges rotate over domains and over the backends inside each
-    /// domain, so load spreads evenly.
+    /// each, every replica of a range in a different failure unit: a
+    /// different *rack* when the fleet spans at least `r` racks,
+    /// otherwise a different `(rack, domain)` pair. Ranges rotate over
+    /// units and over the backends inside each unit, so load spreads
+    /// evenly.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `backends` is empty, `r` is zero, or fewer than `r`
-    /// distinct domains exist (placement would have to co-locate
-    /// replicas, defeating the point).
-    pub fn new(backends: Vec<Backend>, n_ranges: usize, r: usize) -> Self {
-        assert!(!backends.is_empty(), "no backends");
-        assert!(r >= 1, "need at least one replica");
-        assert!(n_ranges >= 1, "need at least one range");
-        // Domains in first-appearance order (determinism needs no sort).
-        let mut domains: Vec<(&str, Vec<usize>)> = Vec::new();
+    /// Returns a [`PlacementError`] if `backends` is empty, `r` or
+    /// `n_ranges` is zero, or fewer than `r` distinct failure units
+    /// exist (placement would have to co-locate replicas, defeating
+    /// the point).
+    pub fn new(backends: Vec<Backend>, n_ranges: usize, r: usize) -> Result<Self, PlacementError> {
+        if backends.is_empty() {
+            return Err(PlacementError::NoBackends);
+        }
+        if r == 0 {
+            return Err(PlacementError::ZeroReplication);
+        }
+        if n_ranges == 0 {
+            return Err(PlacementError::ZeroRanges);
+        }
+        // Failure units in first-appearance order (determinism needs no
+        // sort). Racks are the wider blast radius, so prefer them when
+        // there are enough; `(rack, domain)` otherwise (domain names
+        // repeat across racks).
+        let n_racks = {
+            let mut racks: Vec<usize> = backends.iter().map(|b| b.rack).collect();
+            racks.sort_unstable();
+            racks.dedup();
+            racks.len()
+        };
+        let mut units: Vec<((usize, &str), Vec<usize>)> = Vec::new();
         for (i, b) in backends.iter().enumerate() {
-            match domains.iter_mut().find(|(d, _)| *d == b.domain) {
+            let k = if n_racks >= r {
+                (b.rack, "")
+            } else {
+                (b.rack, b.domain.as_str())
+            };
+            match units.iter_mut().find(|(u, _)| *u == k) {
                 Some((_, members)) => members.push(i),
-                None => domains.push((&b.domain, vec![i])),
+                None => units.push((k, vec![i])),
             }
         }
-        assert!(
-            domains.len() >= r,
-            "replication factor {r} needs {r} distinct failure domains, \
-             have {}",
-            domains.len()
-        );
+        if units.len() < r {
+            return Err(PlacementError::InsufficientDomains {
+                needed: r,
+                have: units.len(),
+            });
+        }
         let ranges = (0..n_ranges)
             .map(|g| {
                 (0..r)
                     .map(|j| {
-                        let (_, members) = &domains[(g + j) % domains.len()];
-                        // Divide before the inner mod so the domain pick
+                        let (_, members) = &units[(g + j) % units.len()];
+                        // Divide before the inner mod so the unit pick
                         // and the member pick decorrelate (both mod D
                         // would pin every range to the same member).
-                        members[(g / domains.len()) % members.len()]
+                        members[(g / units.len()) % members.len()]
                     })
                     .collect()
             })
             .collect();
-        ReplicaMap { backends, ranges }
+        Ok(ReplicaMap { backends, ranges })
     }
 
     /// The range `key` belongs to.
@@ -128,13 +198,14 @@ mod tests {
                 addr: Ipv4Addr::new(10, 1 + i / 2, 0, 2 + i % 2),
                 port: 11211,
                 domain: format!("server{}", i / 2),
+                rack: 0,
             })
             .collect()
     }
 
     #[test]
     fn replicas_land_in_distinct_domains() {
-        let map = ReplicaMap::new(fleet(), 8, 2);
+        let map = ReplicaMap::new(fleet(), 8, 2).unwrap();
         for key in 0..64u32 {
             let reps = map.replicas_of(key);
             assert_eq!(reps.len(), 2);
@@ -148,7 +219,7 @@ mod tests {
 
     #[test]
     fn placement_balances_primaries() {
-        let map = ReplicaMap::new(fleet(), 8, 2);
+        let map = ReplicaMap::new(fleet(), 8, 2).unwrap();
         let mut primaries = [0usize; 4];
         for g in 0..8u32 {
             primaries[map.replicas_of(g)[0]] += 1;
@@ -158,12 +229,50 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "distinct failure domains")]
     fn colocated_replication_is_refused() {
         let mut one_domain = fleet();
         for b in &mut one_domain {
             b.domain = "pdu0".into();
         }
-        ReplicaMap::new(one_domain, 8, 2);
+        assert_eq!(
+            ReplicaMap::new(one_domain, 8, 2),
+            Err(PlacementError::InsufficientDomains { needed: 2, have: 1 })
+        );
+        assert_eq!(ReplicaMap::new(Vec::new(), 8, 2), Err(PlacementError::NoBackends));
+        assert_eq!(ReplicaMap::new(fleet(), 8, 0), Err(PlacementError::ZeroReplication));
+        assert_eq!(ReplicaMap::new(fleet(), 0, 2), Err(PlacementError::ZeroRanges));
+    }
+
+    #[test]
+    fn replicas_prefer_distinct_racks() {
+        // Two racks whose per-rack domain names collide ("server0" in
+        // both): rack-aware placement must still separate replicas.
+        let fleet: Vec<Backend> = (0..4)
+            .map(|i| Backend {
+                addr: Ipv4Addr::new(192, 168, i / 2, 1 + i % 2),
+                port: 11211,
+                domain: "server0".into(),
+                rack: (i / 2) as usize,
+            })
+            .collect();
+        let map = ReplicaMap::new(fleet, 8, 2).unwrap();
+        for key in 0..64u32 {
+            let reps = map.replicas_of(key);
+            assert_ne!(
+                map.backend(reps[0]).rack,
+                map.backend(reps[1]).rack,
+                "key {key} replicated inside one rack"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rack_fleets_fall_back_to_domain_spreading() {
+        // One rack, r=2: racks are insufficient, domains carry the split.
+        let map = ReplicaMap::new(fleet(), 8, 2).unwrap();
+        for key in 0..16u32 {
+            let reps = map.replicas_of(key);
+            assert_ne!(map.backend(reps[0]).domain, map.backend(reps[1]).domain);
+        }
     }
 }

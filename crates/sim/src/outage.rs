@@ -78,6 +78,18 @@ pub enum OutageKind {
         /// How long the domain stays dark.
         down_for: SimTime,
     },
+    /// A fabric switch (an aggregation or spine switch in a Clos
+    /// datacenter) goes dark: frames crossing it are dropped and its
+    /// peers must route around it (ECMP re-hashes flows onto the
+    /// surviving equal-cost paths) until it returns `down_for` later.
+    /// Scheduled against the switch's component name (`"spine0"`,
+    /// `"pod1.agg0"`); meaningless for single-switch topologies, which
+    /// model switch trouble as a [`SwitchPartition`](Self::SwitchPartition)
+    /// instead.
+    SwitchDown {
+        /// How long the switch stays dark.
+        down_for: SimTime,
+    },
 }
 
 /// FNV-1a; stable component-name → fork-stream mapping (identical to the

@@ -27,6 +27,17 @@ pub struct PoolStats {
     pub discarded: Counter,
 }
 
+impl PoolStats {
+    /// Folds another pool's counters into this one (aggregation across
+    /// the engines of a quantum hierarchy).
+    pub fn accumulate(&mut self, other: &PoolStats) {
+        self.allocated.add(other.allocated.get());
+        self.reused.add(other.reused.get());
+        self.returned.add(other.returned.get());
+        self.discarded.add(other.discarded.get());
+    }
+}
+
 impl Instrumented for PoolStats {
     fn metrics(&self, out: &mut MetricSink) {
         out.counter("allocated", self.allocated.get());

@@ -60,6 +60,38 @@
 //! deterministic data). The serial path is the same batched algorithm
 //! run inline, so there is exactly one scheduler to trust.
 //!
+//! # Hierarchical quantum domains
+//!
+//! The quantum rule composes: a [`Shard`] may itself *contain* a whole
+//! [`ParallelEngine`] and drive it inside [`Shard::run_window`]. The
+//! outer engine's quantum is derived from the slow inter-shard paths
+//! (a datacenter fabric hop), the inner engines' quanta from the fast
+//! intra-shard paths (a ToR hop), and each level is sound on its own
+//! terms — the inner engine never sees the outer fabric, and the outer
+//! engine only needs the containing shard's emission lower bounds to be
+//! honest about anything that *leaves* it. Two invariants make the
+//! nesting correct:
+//!
+//! 1. **Containment** — the inner engine is driven with
+//!    [`RunGoal::Deadline`] to exactly the outer window end, so inner
+//!    barriers are invisible from outside and the outer clock never
+//!    runs ahead of an inner one.
+//! 2. **Monotone hand-off** — frames entering the shard are delivered
+//!    with their exact arrival timestamps (future-dated relative to the
+//!    outer barrier), and frames leaving it keep the timestamps of
+//!    their inner barriers, so neither direction loses precision at the
+//!    domain boundary.
+//!
+//! Each level is a synchronization *domain* with its own window/barrier
+//! cadence: intra-rack traffic syncs on the short quantum many times
+//! per outer window, while cross-domain traffic pays the long quantum's
+//! barrier only when it must. [`ParallelEngine::domain_metrics`]
+//! renders any level's counters under a shared `domain.<name>.*`
+//! schema so a hierarchy's cost split (e.g. `domain.cross_pod.barriers`
+//! vs `domain.intra_rack.windows`) is visible in every snapshot, and
+//! [`ShardStats::accumulate`] folds the many inner engines of one level
+//! into a single figure first.
+//!
 //! ```
 //! use mcn_sim::shard::{Fabric, Outbox, ParallelEngine, Quantum, RunGoal, Shard};
 //! use mcn_sim::SimTime;
@@ -344,6 +376,22 @@ pub struct ShardStats {
     pub pool: PoolStats,
 }
 
+impl ShardStats {
+    /// Folds another scheduler's counters into this one. Used to
+    /// aggregate the many inner engines of one hierarchical quantum
+    /// domain (every rack of a datacenter) into a single domain-level
+    /// figure; see the [module docs](self). The pool counters are
+    /// per-engine plumbing and fold along with the rest.
+    pub fn accumulate(&mut self, other: &ShardStats) {
+        self.windows.add(other.windows.get());
+        self.messages.add(other.messages.get());
+        self.batch_jobs.add(other.batch_jobs.get());
+        self.windows_coalesced.add(other.windows_coalesced.get());
+        self.rebalances.add(other.rebalances.get());
+        self.pool.accumulate(&other.pool);
+    }
+}
+
 impl Instrumented for ShardStats {
     fn metrics(&self, out: &mut MetricSink) {
         out.counter("windows", self.windows.get());
@@ -516,6 +564,31 @@ impl ParallelEngine {
     /// The configured quantum.
     pub fn quantum(&self) -> Quantum {
         self.quantum
+    }
+
+    /// Renders this engine's counters as one named synchronization
+    /// *domain* of a quantum hierarchy (see the [module docs](self))
+    /// under `domain.<name>.*`: the domain's quantum, its sub-windows
+    /// executed, its barriers paid, and its cross-shard messages. The
+    /// shared schema is what lets a snapshot compare levels directly
+    /// (`domain.cross_pod.barriers` vs `domain.intra_rack.windows`).
+    pub fn domain_metrics(&self, name: &str, out: &mut MetricSink) {
+        Self::domain_metrics_for(name, self.quantum, &self.stats, out);
+    }
+
+    /// [`domain_metrics`](Self::domain_metrics) for counters that were
+    /// first folded across many engines with [`ShardStats::accumulate`]
+    /// (every rack-level engine of a datacenter forms *one* intra-rack
+    /// domain). `quantum` is the shared window width of those engines.
+    pub fn domain_metrics_for(name: &str, quantum: Quantum, stats: &ShardStats, out: &mut MetricSink) {
+        out.scoped("domain", |out| {
+            out.scoped(name, |out| {
+                out.counter("quantum_ps", quantum.window().as_ps());
+                out.counter("windows", stats.windows.get());
+                out.counter("barriers", stats.batch_jobs.get());
+                out.counter("messages", stats.messages.get());
+            });
+        });
     }
 
     /// Drives `shards` toward `target` under `goal` using `threads`

@@ -160,10 +160,11 @@ fn main() {
                 addr: rack.server(s).dimm_ip(d),
                 port: 11211,
                 domain: format!("riser{s}"),
+                rack: 0,
             });
         }
     }
-    let map = ReplicaMap::new(backends, 8, 2);
+    let map = ReplicaMap::new(backends, 8, 2).expect("placement");
     for s in 0..2 {
         for c in 0..2u64 {
             let i = s as u64 * 2 + c;

@@ -220,3 +220,74 @@ fn deadline_runs_agree_with_component_trait_driver() {
         "trait-driven and parallel deadline runs diverged"
     );
 }
+
+#[test]
+fn datacenter_chaos_mix_is_thread_count_invariant() {
+    // The same contract one level up: a 2-pod Clos fabric with
+    // cross-pod iperf streams, an agg switch loss, a rack-scale power
+    // event and seeded SRAM frame loss on every server — byte-identical
+    // at 1, 2, 4 and 8 outer threads.
+    use mcn::fabric::ClosConfig;
+    use mcn::{Datacenter, McnSystem};
+
+    let mut faults = FaultPlan::new(0xDC0);
+    faults.rate(
+        &mcn::McnSystem::sram_host_fault_component(0, 0),
+        FaultKind::Drop,
+        0.01,
+    );
+    let mut plan = OutagePlan::new(0xDC1);
+    plan.at(
+        &Datacenter::agg_outage_component(0, 0),
+        SimTime::from_us(200),
+        OutageKind::SwitchDown { down_for: SimTime::from_ms(1) },
+    );
+    plan.at(
+        &Datacenter::rack_outage_component(3),
+        SimTime::from_us(400),
+        OutageKind::NodeReboot { down_for: SimTime::from_ms(1) },
+    );
+
+    let run = |threads: usize| {
+        let clos = ClosConfig {
+            servers_per_rack: 2,
+            ..ClosConfig::default()
+        };
+        let mut dc = Datacenter::with_faults(
+            &SystemConfig::default(),
+            McnConfig::level(3),
+            &clos,
+            &faults,
+        );
+        dc.set_outage_plan(&plan);
+        for r in 0..2 {
+            dc.spawn_host(
+                r,
+                0,
+                Box::new(IperfServer::new(5001, 1, SimTime::from_ms(1), IperfReport::shared())),
+                0,
+            );
+            dc.spawn_host(
+                r + 2,
+                1,
+                Box::new(IperfClient::new(
+                    McnSystem::nic_ip_in(r, 0),
+                    5001,
+                    128 * 1024,
+                    IperfReport::shared(),
+                )),
+                1,
+            );
+        }
+        let done = dc.run_parallel(SimTime::from_secs(30), threads);
+        assert!(done, "datacenter chaos stalled on {threads} thread(s) at {}", dc.now());
+        (dc.now(), snapshot(&dc))
+    };
+
+    let serial = run(1);
+    assert_eq!(serial, run(2), "2-thread run diverged from serial");
+    assert_eq!(serial, run(4), "4-thread run diverged from serial");
+    assert_eq!(serial, run(8), "8-thread run diverged from serial");
+    assert!(serial.1.contains("\"root.fabric.switch_downs\": 1"));
+    assert!(serial.1.contains("\"root.rack3.rack.node_reboots\": 2"));
+}

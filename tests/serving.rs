@@ -532,10 +532,12 @@ fn zero_window_stall_waits_on_persist_probes_without_spurious_failover() {
             addr: dimm_ip,
             port: 7000,
             domain: "riser0".into(),
+            rack: 0,
         }],
         1,
         1,
-    );
+    )
+    .expect("placement");
     let mut cfg = ResilientClientConfig::new(map);
     cfg.seed = 0x5A;
     cfg.n_requests = 8;
@@ -631,10 +633,11 @@ fn replicated_failover_is_thread_count_invariant() {
                     addr: rack.server(s).dimm_ip(d),
                     port: 11211,
                     domain: riser(s),
+                    rack: 0,
                 });
             }
         }
-        let map = ReplicaMap::new(backends, 8, 2);
+        let map = ReplicaMap::new(backends, 8, 2).expect("placement");
         for s in 0..2 {
             for c in 0..2u64 {
                 let i = s as u64 * 2 + c;
