@@ -24,15 +24,12 @@
 use std::time::Instant;
 
 use mcn::fabric::ClosConfig;
-use mcn::{Datacenter, McnConfig, McnSystem, MetricSink, SystemConfig};
-use mcn_serve::{
-    Backend, KvServer, KvServerConfig, ReplicaMap, ResilientClientConfig, ResilientKvClient,
-    ServeReport,
-};
-use mcn_sim::{OutageKind, OutagePlan, SimTime};
+use mcn::{Datacenter, MetricSink};
+use mcn_bench::{kv_dc_workload, KvDcParams};
+use mcn_serve::ServeReport;
+use mcn_sim::SimTime;
 
 const CLIENTS_PER_FLEET: u64 = 3;
-const REQS_PER_CLIENT: u64 = 150;
 const SLO: SimTime = SimTime::from_us(500);
 const DEADLINE: SimTime = SimTime::from_ms(80);
 /// When spine 0 goes dark.
@@ -42,64 +39,15 @@ const DOWN_FOR: SimTime = SimTime::from_ms(2);
 
 type Report = std::sync::Arc<parking_lot::Mutex<ServeReport>>;
 
-/// Builds the workload: KV servers on rack 0 (intra tier) and rack 3
-/// (cross tier), three rack-0 clients per tier, and the spine outage.
+/// Builds the workload via the shared sweep scenario constructor;
+/// `KvDcParams::default_bench()` IS this benchmark's historical
+/// configuration (the constants above restate it for the report keys).
 fn build_workload() -> (Datacenter, Report, Report) {
-    let clos = ClosConfig::default(); // 2 pods x 2 racks x 4 servers
-    let mut dc = Datacenter::new(&SystemConfig::default(), McnConfig::level(3), &clos);
-
-    let mut plan = OutagePlan::new(0xDCB);
-    plan.at(
-        &Datacenter::spine_outage_component(0),
-        CRASH_AT,
-        OutageKind::SwitchDown { down_for: DOWN_FOR },
-    );
-    dc.set_outage_plan(&plan);
-
-    let intra = ServeReport::shared(SLO);
-    let cross = ServeReport::shared(SLO);
-    cross.lock().set_fault_window(CRASH_AT, CRASH_AT + DOWN_FOR);
-
-    let server = KvServerConfig::default();
-    dc.spawn_host(0, 0, Box::new(KvServer::new(server.clone(), intra.clone())), 0);
-    dc.spawn_host(3, 0, Box::new(KvServer::new(server, cross.clone())), 0);
-
-    let backend = |rack: usize, port: u16| {
-        ReplicaMap::new(
-            vec![Backend {
-                addr: McnSystem::nic_ip_in(rack, 0),
-                port,
-                domain: format!("rack{rack}"),
-                rack,
-            }],
-            1,
-            1,
-        )
-        .expect("placement")
-    };
-    let intra_map = backend(0, 11211);
-    let cross_map = backend(3, 11211);
-
-    for c in 0..CLIENTS_PER_FLEET {
-        for (fleet, map, report) in [
-            (0u64, &intra_map, &intra),
-            (1u64, &cross_map, &cross),
-        ] {
-            let mut cfg = ResilientClientConfig::new(map.clone());
-            cfg.seed = 0xDC0 + fleet * 16 + c;
-            cfg.n_requests = REQS_PER_CLIENT;
-            cfg.mean_gap = SimTime::from_us(40);
-            cfg.keyspace = 256;
-            cfg.set_pct = 20;
-            cfg.val_len = 512;
-            // Single-replica maps: failover has nowhere to go, so the
-            // spine window is ridden out on retries.
-            cfg.retry_budget = 32;
-            cfg.retry_earn_tenths = 5;
-            dc.spawn_host(0, 1 + c as usize, Box::new(ResilientKvClient::new(cfg, report.clone())), fleet as usize);
-        }
-    }
-    (dc, intra, cross)
+    let params = KvDcParams::default_bench();
+    debug_assert_eq!(params.spine_outage, Some((CRASH_AT, DOWN_FOR)));
+    debug_assert_eq!(params.slo, SLO);
+    debug_assert_eq!(params.clients_per_fleet, CLIENTS_PER_FLEET);
+    kv_dc_workload(&params)
 }
 
 /// Runs the workload on `threads` outer workers until both fleets drain

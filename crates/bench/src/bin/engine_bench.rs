@@ -21,8 +21,9 @@
 
 use std::time::Instant;
 
-use mcn::{ComponentExt, McnConfig, McnRack, MetricSink, SystemConfig};
-use mcn_mpi::{IperfClient, IperfReport, IperfServer};
+use mcn::{ComponentExt, McnRack, MetricSink};
+use mcn_bench::rack_iperf_workload;
+use mcn_mpi::IperfReport;
 use mcn_sim::SimTime;
 
 const BYTES_PER_STREAM: u64 = 1 << 20;
@@ -45,42 +46,11 @@ const REQUIRED_SCHED_COUNTERS: [&str; 3] = [
 
 type Report = std::sync::Arc<parking_lot::Mutex<IperfReport>>;
 
-/// Builds the benchmark workload: 4 local iperf streams (each DIMM into
-/// its own host) plus 1 cross-server stream (server 0's DIMM 0 into
-/// server 1's host), so the ToR switch and both NICs stay on the
-/// critical path.
+/// Builds the benchmark workload via the shared sweep scenario
+/// constructor: 4 local iperf streams plus 1 cross-server stream at
+/// mcn3, no mid-run partition.
 fn build_workload() -> (McnRack, Report, Report) {
-    let mut rack = McnRack::new(&SystemConfig::default(), 2, 2, McnConfig::level(3));
-    let srv0 = IperfReport::shared();
-    let srv1 = IperfReport::shared();
-    rack.spawn_host(
-        0,
-        Box::new(IperfServer::new(5001, 2, SimTime::from_ms(1), srv0.clone())),
-        0,
-    );
-    rack.spawn_host(
-        1,
-        Box::new(IperfServer::new(5001, 3, SimTime::from_ms(1), srv1.clone())),
-        0,
-    );
-    for s in 0..2 {
-        let dst = rack.server(s).host_rank_ip();
-        for d in 0..2 {
-            rack.spawn_dimm(
-                s,
-                d,
-                Box::new(IperfClient::new(dst, 5001, BYTES_PER_STREAM, IperfReport::shared())),
-                1,
-            );
-        }
-    }
-    let remote = rack.server(1).host_rank_ip();
-    rack.spawn_dimm(
-        0,
-        0,
-        Box::new(IperfClient::new(remote, 5001, BYTES_PER_STREAM, IperfReport::shared())),
-        2,
-    );
+    let (rack, (srv0, srv1)) = rack_iperf_workload(3, BYTES_PER_STREAM, None);
     (rack, srv0, srv1)
 }
 

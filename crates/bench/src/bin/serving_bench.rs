@@ -24,17 +24,13 @@
 
 use std::time::Instant;
 
-use mcn::{McnConfig, McnRack, MetricSink, SystemConfig};
-use mcn_serve::{
-    Backend, KvServer, KvServerConfig, ReplicaMap, ResilientClientConfig, ResilientKvClient,
-    ServeReport,
-};
-use mcn_sim::{OutageKind, OutagePlan, SimTime};
+use mcn::{McnRack, MetricSink};
+use mcn_bench::{kv_rack_workload, riser, KvRackParams, KvRackChaos};
+use mcn_serve::ServeReport;
+use mcn_sim::SimTime;
 
 const SERVERS: usize = 2;
-const DIMMS: usize = 2;
 const CLIENTS_PER_SERVER: u64 = 4;
-const REQS_PER_CLIENT: u64 = 250;
 const SLO: SimTime = SimTime::from_us(200);
 const DEADLINE: SimTime = SimTime::from_ms(50);
 /// When the `riser0` failure domain (both DIMMs of server 0) crashes.
@@ -44,93 +40,19 @@ const DOWN_FOR: SimTime = SimTime::from_ms(6);
 
 type Report = std::sync::Arc<parking_lot::Mutex<ServeReport>>;
 
-/// Domain name of server `s`'s DIMM riser (used for both the outage plan
-/// and replica placement, so chaos and placement agree on blast radius).
-fn riser(s: usize) -> String {
-    format!("riser{s}")
-}
-
-/// Builds the benchmark workload: one KV server per DIMM, a replica map
-/// spreading each key range across both risers, a resilient client
-/// fleet (hedging and non-hedging halves), and the scheduled domain
-/// crash.
+/// Builds the benchmark workload via the shared sweep scenario
+/// constructor; `KvRackParams::default_bench()` IS this benchmark's
+/// historical configuration (the constants above restate it for the
+/// report keys).
 fn build_workload() -> (McnRack, Report) {
-    let report = ServeReport::shared(SLO);
-    report
-        .lock()
-        .set_fault_window(CRASH_AT, CRASH_AT + DOWN_FOR);
-    let mut rack = McnRack::new(&SystemConfig::default(), SERVERS, DIMMS, McnConfig::level(3));
-
-    // The correlated outage: riser0 = both DIMMs of server 0, down as
-    // one event at a window boundary.
-    let mut plan = OutagePlan::new(0xD0);
-    plan.define_domain(
-        &riser(0),
-        &[
-            &McnRack::dimm_outage_component(0, 0),
-            &McnRack::dimm_outage_component(0, 1),
-        ],
+    let params = KvRackParams::default_bench();
+    debug_assert_eq!(
+        params.chaos,
+        Some(KvRackChaos::DomainCrash { at: CRASH_AT, down_for: DOWN_FOR })
     );
-    plan.define_domain(
-        &riser(1),
-        &[
-            &McnRack::dimm_outage_component(1, 0),
-            &McnRack::dimm_outage_component(1, 1),
-        ],
-    );
-    plan.at(
-        &riser(0),
-        CRASH_AT,
-        OutageKind::DomainDown { down_for: DOWN_FOR },
-    );
-    rack.set_outage_plan(&plan);
-
-    let server = KvServerConfig {
-        inflight_budget: 4,
-        ..KvServerConfig::default()
-    };
-    let mut backends = Vec::new();
-    for s in 0..SERVERS {
-        for d in 0..DIMMS {
-            rack.spawn_dimm(s, d, Box::new(KvServer::new(server.clone(), report.clone())), 0);
-            backends.push(Backend {
-                addr: rack.server(s).dimm_ip(d),
-                port: 11211,
-                domain: riser(s),
-                rack: 0,
-            });
-        }
-    }
-    let map = ReplicaMap::new(backends, 8, 2).expect("placement");
-
-    for s in 0..SERVERS {
-        for c in 0..CLIENTS_PER_SERVER {
-            let i = s as u64 * CLIENTS_PER_SERVER + c;
-            let mut cfg = ResilientClientConfig::new(map.clone());
-            cfg.seed = 0xBE0 + i;
-            cfg.n_requests = REQS_PER_CLIENT;
-            cfg.mean_gap = SimTime::from_us(25);
-            cfg.keyspace = 1024;
-            cfg.set_pct = 20;
-            cfg.val_len = 512;
-            // A 6ms correlated outage concentrates retries: give the
-            // bucket enough depth (and refill) that recovery is not
-            // budget-bound while still bounding a true retry storm.
-            cfg.retry_budget = 32;
-            cfg.retry_earn_tenths = 5;
-            // Half the fleet hedges its reads; the other half recovers
-            // purely by timeout failover, so both paths show up.
-            if i % 2 == 1 {
-                cfg.hedge_delay = None;
-            }
-            rack.spawn_host(
-                s,
-                Box::new(ResilientKvClient::new(cfg, report.clone())),
-                (c % 2) as usize,
-            );
-        }
-    }
-    (rack, report)
+    debug_assert_eq!(params.slo, SLO);
+    debug_assert_eq!(params.clients_per_server, CLIENTS_PER_SERVER);
+    kv_rack_workload(&params)
 }
 
 /// Runs the workload on `threads` workers until the fleet drains (the

@@ -29,7 +29,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use mcn::{EthernetCluster, McnSystem};
+use mcn::{Datacenter, EthernetCluster, McnRack, McnSystem};
 use mcn_dram::ChannelStats;
 use mcn_sim::SimTime;
 
@@ -101,7 +101,9 @@ impl EnergyReport {
         self.cpu_j + self.uncore_j + self.dram_j + self.network_j
     }
 
-    fn add(&mut self, other: EnergyReport) {
+    /// Accumulates another report component-wise (used when summing
+    /// servers into racks and racks into datacenters).
+    pub fn add(&mut self, other: EnergyReport) {
         self.cpu_j += other.cpu_j;
         self.uncore_j += other.uncore_j;
         self.dram_j += other.dram_j;
@@ -177,6 +179,89 @@ pub fn mcn_system_energy(p: &PowerParams, sys: &McnSystem, elapsed: SimTime) -> 
         }
     }
     r
+}
+
+/// Energy of a whole [`McnRack`] over `elapsed`: the sum of each
+/// server's [`mcn_system_energy`] plus one conventional NIC and one
+/// ToR-switch port per server (rack traffic leaves a server through its
+/// Ethernet NIC, unlike the in-server memory-channel hops).
+pub fn rack_energy(p: &PowerParams, rack: &McnRack, elapsed: SimTime) -> EnergyReport {
+    let mut r = EnergyReport::default();
+    for s in 0..rack.len() {
+        r.add(mcn_system_energy(p, rack.server(s), elapsed));
+        r.network_j += (p.nic_w + p.switch_port_w) * elapsed.as_secs_f64();
+    }
+    r
+}
+
+/// Energy of a whole Clos [`Datacenter`] over `elapsed`: the sum of each
+/// rack's [`rack_energy`] plus the fabric tier, modelled as one
+/// switch-port's power per fabric link — every ToR uplink (one per
+/// rack), every rack→agg and agg→spine attachment. This is deliberately
+/// a port-count model, not a per-switch chassis model: it scales with
+/// the topology the [`mcn::fabric::ClosConfig`] describes and keeps the
+/// MCN-vs-scale-out comparison conservative (the fabric is charged even
+/// when idle).
+pub fn datacenter_energy(p: &PowerParams, dc: &Datacenter, elapsed: SimTime) -> EnergyReport {
+    let clos = dc.clos();
+    let mut r = EnergyReport::default();
+    for i in 0..dc.racks() {
+        r.add(rack_energy(p, dc.rack(i), elapsed));
+    }
+    let aggs = clos.pods * clos.aggs_per_pod;
+    // Ports: each rack uplinks to every agg of its pod, and each agg
+    // attaches to every spine; count both ends of each fabric link.
+    let rack_agg_links = clos.racks() * clos.aggs_per_pod;
+    let agg_spine_links = aggs * clos.spines;
+    let ports = 2 * (rack_agg_links + agg_spine_links);
+    r.network_j += p.switch_port_w * ports as f64 * elapsed.as_secs_f64();
+    r
+}
+
+/// Energy-efficiency figures derived from an [`EnergyReport`] plus the
+/// request/throughput counters a scenario read out of the metrics
+/// registry — the per-cell numbers every sweep cell reports
+/// (`energy.energy_per_request_nj`, `energy.perf_per_watt`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Efficiency {
+    /// Nanojoules of total (cpu + uncore + DRAM + network) energy per
+    /// request unit. The request unit is workload-defined — an answered
+    /// KV request, a delivered KiB of iperf payload, a 64-byte DRAM
+    /// burst for the MPI workloads — and named by the cell's
+    /// `meta.request_unit` label. Zero when no requests completed.
+    pub energy_per_request_nj: f64,
+    /// Workload throughput (`perf`, in the unit the scenario measures:
+    /// Gbit/s, requests/s, bytes/s, ...) divided by average power draw.
+    /// Zero when the run consumed no energy.
+    pub perf_per_watt: f64,
+    /// Average power over the run, total energy / elapsed time.
+    pub avg_power_w: f64,
+}
+
+/// Derives the [`Efficiency`] figures for one run.
+///
+/// `requests` and `perf` come from the run's own metrics registry (see
+/// [`Efficiency::energy_per_request_nj`] for the unit conventions);
+/// `elapsed` is the simulated completion time the energy was integrated
+/// over.
+pub fn efficiency(
+    report: &EnergyReport,
+    requests: u64,
+    perf: f64,
+    elapsed: SimTime,
+) -> Efficiency {
+    let total_j = report.total();
+    let secs = elapsed.as_secs_f64();
+    let avg_power_w = if secs > 0.0 { total_j / secs } else { 0.0 };
+    Efficiency {
+        energy_per_request_nj: if requests > 0 {
+            total_j * 1e9 / requests as f64
+        } else {
+            0.0
+        },
+        perf_per_watt: if avg_power_w > 0.0 { perf / avg_power_w } else { 0.0 },
+        avg_power_w,
+    }
 }
 
 /// Energy of the 10GbE baseline cluster over `elapsed`.
@@ -279,6 +364,66 @@ mod tests {
         };
         assert_eq!(r.total(), 10.0);
         assert!(r.to_string().contains("total 10.000 J"));
+    }
+
+    #[test]
+    fn rack_energy_is_servers_plus_network() {
+        let p = PowerParams::default();
+        let sys = SystemConfig::default();
+        let rack = McnRack::new(&sys, 3, 1, McnConfig::level(0));
+        let elapsed = SimTime::from_ms(5);
+        let e = rack_energy(&p, &rack, elapsed);
+        let one = mcn_system_energy(&p, rack.server(0), elapsed);
+        // Idle rack: every server costs the same, plus NIC + ToR port each.
+        assert!((e.cpu_j - 3.0 * one.cpu_j).abs() < 1e-9);
+        let net = 3.0 * (p.nic_w + p.switch_port_w) * 0.005;
+        assert!((e.network_j - net).abs() < 1e-9);
+    }
+
+    #[test]
+    fn datacenter_energy_adds_fabric_ports() {
+        use mcn::fabric::ClosConfig;
+        let p = PowerParams::default();
+        let clos = ClosConfig::default();
+        let dc = Datacenter::new(&SystemConfig::default(), McnConfig::level(0), &clos);
+        let elapsed = SimTime::from_ms(2);
+        let e = dc_total_minus_racks(&p, &dc, elapsed);
+        // 2 pods × 2 racks × 2 aggs rack-agg links + 4 aggs × 2 spines,
+        // both ends: 2 × (8 + 8) = 32 ports.
+        let expect = p.switch_port_w * 32.0 * 0.002;
+        assert!((e - expect).abs() < 1e-9, "fabric {e} expect {expect}");
+    }
+
+    fn dc_total_minus_racks(p: &PowerParams, dc: &Datacenter, elapsed: SimTime) -> f64 {
+        let total = datacenter_energy(p, dc, elapsed);
+        let mut racks = EnergyReport::default();
+        for r in 0..dc.racks() {
+            racks.add(rack_energy(p, dc.rack(r), elapsed));
+        }
+        total.total() - racks.total()
+    }
+
+    #[test]
+    fn efficiency_figures_behave() {
+        let r = EnergyReport {
+            cpu_j: 1.0,
+            uncore_j: 0.0,
+            dram_j: 0.0,
+            network_j: 0.0,
+        };
+        let e = efficiency(&r, 1000, 8.0, SimTime::from_ms(100));
+        // 1 J over 1000 requests = 1e6 nJ each; 1 J / 0.1 s = 10 W.
+        assert!((e.energy_per_request_nj - 1e6).abs() < 1e-3);
+        assert!((e.avg_power_w - 10.0).abs() < 1e-9);
+        assert!((e.perf_per_watt - 0.8).abs() < 1e-9);
+        // Degenerate inputs stay finite.
+        let z = efficiency(&r, 0, 8.0, SimTime::ZERO);
+        assert_eq!(z.energy_per_request_nj, 0.0);
+        assert_eq!(z.avg_power_w, 0.0);
+        assert_eq!(z.perf_per_watt, 0.0);
+        // More requests for the same energy → cheaper per request.
+        let e2 = efficiency(&r, 2000, 8.0, SimTime::from_ms(100));
+        assert!(e2.energy_per_request_nj < e.energy_per_request_nj);
     }
 
     #[test]

@@ -216,6 +216,23 @@ impl MetricSink {
         self.scoped(segment, |out| child.metrics(out));
     }
 
+    /// Replays every entry of an already-sealed snapshot under `segment`.
+    ///
+    /// This is the merge primitive of the sweep runner: per-cell result
+    /// trees (loaded back from their done-marker files) are mounted into
+    /// one merged registry under disjoint `cells.<id>` prefixes. Because
+    /// [`finish`](MetricSink::finish) sorts by path and panics on
+    /// duplicates, mounting disjoint subtrees is commutative — any mount
+    /// order produces the identical sealed snapshot.
+    pub fn absorb_snapshot(&mut self, segment: &str, snap: &MetricsSnapshot) {
+        self.scoped(segment, |out| {
+            for (path, value) in snap.iter() {
+                let p = out.path(path);
+                out.entries.push((p, value.clone()));
+            }
+        });
+    }
+
     /// Seals the sink into a sorted snapshot.
     ///
     /// Panics if two registrations produced the same path — duplicate
@@ -334,6 +351,102 @@ impl MetricsSnapshot {
             writeln!(s, "{p} = {v}").unwrap();
         }
         s
+    }
+
+    /// Parses the flat JSON produced by [`to_json`](Self::to_json) back
+    /// into a snapshot.
+    ///
+    /// This is deliberately a parser for *our own renderer's* output —
+    /// one flat object, one `"path": value` entry per line — not a
+    /// general JSON reader (the workspace vendors no JSON crate). It is
+    /// the read side of the sweep runner's done-marker files: a cell
+    /// result written by `to_json` round-trips byte-identically through
+    /// `parse_flat_json(...).to_json()`. Integer-valued floats that the
+    /// renderer printed without a decimal point read back as counters;
+    /// that is fine because every consumer of a reloaded snapshot either
+    /// re-renders it (identical bytes either way) or reads counters.
+    ///
+    /// Returns `Err` with a line-numbered message on anything the
+    /// renderer could not have produced.
+    pub fn parse_flat_json(text: &str) -> Result<MetricsSnapshot, String> {
+        let mut entries = Vec::new();
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, "{")) => {}
+            other => return Err(format!("expected '{{' on line 1, got {other:?}")),
+        }
+        let mut closed = false;
+        for (i, line) in lines {
+            let err = |what: &str| format!("line {}: {what}: {line:?}", i + 1);
+            if closed {
+                return Err(err("content after closing '}'"));
+            }
+            if line == "}" {
+                closed = true;
+                continue;
+            }
+            let body = line
+                .strip_prefix("  \"")
+                .ok_or_else(|| err("expected two-space-indented \"path\""))?;
+            let body = body.strip_suffix(',').unwrap_or(body);
+            let (path, value) = body
+                .split_once("\": ")
+                .ok_or_else(|| err("expected '\": ' separator"))?;
+            let value = if let Some(text) = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+            {
+                MetricValue::Text(Self::unescape(text).map_err(|e| err(&e))?)
+            } else if value == "null" {
+                // The renderer writes non-finite floats as null.
+                MetricValue::F64(f64::NAN)
+            } else if value.bytes().all(|b| b.is_ascii_digit()) {
+                MetricValue::U64(value.parse().map_err(|_| err("bad counter"))?)
+            } else {
+                MetricValue::F64(value.parse().map_err(|_| err("bad number"))?)
+            };
+            entries.push((path.to_string(), value));
+        }
+        if !closed {
+            return Err("missing closing '}'".into());
+        }
+        // Re-seal with the same sortedness and path-uniqueness rules that
+        // finish() enforces, but fail softly: a mangled marker file must
+        // read as "invalid, re-run the cell", not abort the whole sweep.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        if let Some(w) = entries.windows(2).find(|w| w[0].0 == w[1].0) {
+            return Err(format!("duplicate path {}", w[0].0));
+        }
+        Ok(MetricsSnapshot { entries })
+    }
+
+    fn unescape(s: &str) -> Result<String, String> {
+        let mut out = String::with_capacity(s.len());
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                if c == '"' {
+                    return Err("bare quote inside text value".into());
+                }
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('u') => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                    out.push(
+                        char::from_u32(code).ok_or_else(|| format!("bad codepoint {code}"))?,
+                    );
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            }
+        }
+        Ok(out)
     }
 
     /// Deterministic JSON: one flat object, keys sorted, one entry per
@@ -458,6 +571,57 @@ mod tests {
             "{\n  \"left.a\": 1,\n  \"left.b\": 2,\n  \"right.a\": 30,\n  \
              \"right.b\": 40,\n  \"total\": 31\n}\n"
         );
+    }
+
+    #[test]
+    fn flat_json_round_trips_byte_identically() {
+        let mut sink = MetricSink::new();
+        sink.counter("a.count", 7);
+        sink.value("a.ratio", 2.5);
+        sink.value("a.nan", f64::NAN);
+        sink.text("a.label", "line\none \"quoted\\thing\"\u{1}");
+        let snap = sink.finish();
+        let json = snap.to_json();
+        let back = MetricsSnapshot::parse_flat_json(&json).expect("parses");
+        assert_eq!(back.to_json(), json, "round trip is byte-identical");
+        assert_eq!(back.get_u64("a.count"), 7);
+        assert_eq!(back.get("a.ratio").unwrap().as_f64(), 2.5);
+    }
+
+    #[test]
+    fn flat_json_parser_rejects_mangled_markers() {
+        for bad in [
+            "",
+            "{\n}\n trailing",
+            "{\n  \"a\": 1\n",
+            "{\n  \"a\" 1\n}\n",
+            "{\n\"a\": 1\n}\n",
+            "{\n  \"a\": 1,\n  \"a\": 2\n}\n",
+            "{\n  \"a\": zz\n}\n",
+        ] {
+            assert!(
+                MetricsSnapshot::parse_flat_json(bad).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn absorb_snapshot_mounts_are_commutative() {
+        let left = MetricsSnapshot::collect(&Leaf { a: 1, b: 2 });
+        let right = MetricsSnapshot::collect(&Leaf { a: 30, b: 40 });
+        let mount = |order: &[(&str, &MetricsSnapshot)]| {
+            let mut sink = MetricSink::new();
+            for (seg, snap) in order {
+                sink.absorb_snapshot(&format!("cells.{seg}"), snap);
+            }
+            sink.finish()
+        };
+        let ab = mount(&[("l", &left), ("r", &right)]);
+        let ba = mount(&[("r", &right), ("l", &left)]);
+        assert_eq!(ab.to_json(), ba.to_json(), "mount order cannot matter");
+        assert_eq!(ab.get_u64("cells.l.a"), 1);
+        assert_eq!(ab.get_u64("cells.r.b"), 40);
     }
 
     #[test]
